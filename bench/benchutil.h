@@ -1,0 +1,75 @@
+#ifndef VTRANS_BENCH_BENCHUTIL_H_
+#define VTRANS_BENCH_BENCHUTIL_H_
+
+/**
+ * @file
+ * Shared helpers for the figure/table regeneration binaries: flag
+ * handling, grid selection, and formatting. Every bench prints (1) the
+ * rendered table/heatmap and (2) machine-readable CSV, so results can be
+ * compared against the paper's figures directly.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/status.h"
+#include "core/studies.h"
+
+namespace vtrans::bench {
+
+/** Common sweep options from the command line. */
+struct BenchOptions
+{
+    core::StudyOptions study;
+    std::vector<int> crf_grid;
+    std::vector<int> refs_grid;
+};
+
+/**
+ * Parses the standard bench flags:
+ *   --video <name>    sweep video (default "funny", a 1080p-class clip)
+ *   --seconds <s>     clip length per point (default 1.0)
+ *   --coarse          6x5 grid (fast preview)
+ *   --fine            11x8 grid (crf Delta-5, 88 points)
+ *   --full            the paper's full 816-point grid
+ *   --quiet           suppress progress
+ * Default grid: 8x5 (40 points).
+ */
+inline BenchOptions
+parseBenchOptions(int argc, char** argv)
+{
+    Cli cli(argc, argv);
+    BenchOptions options;
+    options.study.video = cli.str("video", "funny");
+    options.study.seconds = cli.real("seconds", 0.8);
+    options.study.verbose = !cli.has("quiet");
+    setVerbose(!cli.has("quiet"));
+
+    if (cli.has("full")) {
+        options.crf_grid = core::fullCrfGrid();
+        options.refs_grid = core::fullRefsGrid();
+    } else if (cli.has("fine")) {
+        options.crf_grid = core::defaultCrfGrid();
+        options.refs_grid = core::defaultRefsGrid();
+    } else if (cli.has("coarse")) {
+        options.crf_grid = {1, 11, 21, 31, 41, 51};
+        options.refs_grid = {1, 2, 4, 8, 16};
+    } else {
+        options.crf_grid = {1, 8, 15, 22, 29, 36, 43, 50};
+        options.refs_grid = {1, 2, 4, 8, 16};
+    }
+    return options;
+}
+
+/** Prints a section banner. */
+inline void
+banner(const std::string& title)
+{
+    std::printf("\n==== %s ====\n\n", title.c_str());
+}
+
+} // namespace vtrans::bench
+
+#endif // VTRANS_BENCH_BENCHUTIL_H_

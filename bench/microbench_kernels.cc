@@ -1,0 +1,171 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the hot kernels underneath every
+ * experiment: pixel costs (SAD/SATD), the 4x4 transform pipeline, trellis
+ * quantization, motion-estimation searches, the cache/branch-predictor
+ * models, and end-to-end encode throughput. Useful for spotting native
+ * performance regressions of the harness itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "codec/dct.h"
+#include "codec/encoder.h"
+#include "codec/me.h"
+#include "codec/pixel.h"
+#include "codec/trellis.h"
+#include "common/rng.h"
+#include "trace/probe.h"
+#include "uarch/branch.h"
+#include "uarch/cache.h"
+#include "video/generate.h"
+#include "video/vbench.h"
+
+namespace {
+
+using namespace vtrans;
+
+video::Frame
+texturedFrame(int w, int h, uint64_t seed)
+{
+    video::Frame f(w, h);
+    Rng rng(seed);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            f.at(video::Plane::Y, x, y) =
+                static_cast<uint8_t>(rng.below(256));
+        }
+    }
+    return f;
+}
+
+void
+BM_Sad16x16(benchmark::State& state)
+{
+    const auto cur = texturedFrame(128, 128, 1);
+    const auto ref = texturedFrame(128, 128, 2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(codec::sadBlock(
+            cur, 32, 32, ref, 34, 30, 16, 16, INT32_MAX));
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_Sad16x16);
+
+void
+BM_Satd4x4(benchmark::State& state)
+{
+    const auto cur = texturedFrame(64, 64, 3);
+    uint8_t pred[16] = {};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(codec::satd4x4(
+            cur, 16, 16, pred, 4,
+            static_cast<uint64_t>(codec::Scratch::Pred)));
+    }
+}
+BENCHMARK(BM_Satd4x4);
+
+void
+BM_DctQuantRoundtrip(benchmark::State& state)
+{
+    const int qp = static_cast<int>(state.range(0));
+    Rng rng(4);
+    int16_t blk[16];
+    for (auto _ : state) {
+        for (int i = 0; i < 16; ++i) {
+            blk[i] = static_cast<int16_t>(rng.range(-80, 80));
+        }
+        codec::forwardDct4x4(blk);
+        codec::quantize4x4(blk, qp, false);
+        codec::dequantize4x4(blk, qp);
+        codec::inverseDct4x4(blk);
+        benchmark::DoNotOptimize(blk[0]);
+    }
+}
+BENCHMARK(BM_DctQuantRoundtrip)->Arg(10)->Arg(30)->Arg(50);
+
+void
+BM_TrellisQuant(benchmark::State& state)
+{
+    Rng rng(5);
+    int16_t blk[16];
+    for (auto _ : state) {
+        for (int i = 0; i < 16; ++i) {
+            blk[i] = static_cast<int16_t>(rng.range(-80, 80));
+        }
+        codec::forwardDct4x4(blk);
+        benchmark::DoNotOptimize(
+            codec::trellisQuantize4x4(blk, 26, false, 64));
+    }
+}
+BENCHMARK(BM_TrellisQuant);
+
+void
+BM_MotionSearch(benchmark::State& state)
+{
+    const auto method = static_cast<codec::MeMethod>(state.range(0));
+    const auto cur = texturedFrame(128, 128, 6);
+    const auto ref = texturedFrame(128, 128, 7);
+    std::vector<const video::Frame*> refs{&ref};
+    codec::MeContext ctx;
+    ctx.cur = &cur;
+    ctx.refs = &refs;
+    ctx.method = method;
+    ctx.merange = 16;
+    ctx.subme = 4;
+    ctx.lambda_fp = 32;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            codec::searchAllRefs(ctx, 48, 48, 16, 16, codec::Mv{}));
+    }
+}
+BENCHMARK(BM_MotionSearch)
+    ->Arg(static_cast<int>(codec::MeMethod::Dia))
+    ->Arg(static_cast<int>(codec::MeMethod::Hex))
+    ->Arg(static_cast<int>(codec::MeMethod::Umh))
+    ->Arg(static_cast<int>(codec::MeMethod::Esa));
+
+void
+BM_CacheAccess(benchmark::State& state)
+{
+    uarch::Cache cache("bench", {32 * 1024, 8, 64});
+    Rng rng(8);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(rng.below(1 << 20)));
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_TagePredict(benchmark::State& state)
+{
+    uarch::TagePredictor tage;
+    Rng rng(9);
+    uint64_t pc = 0x400000;
+    for (auto _ : state) {
+        const bool taken = rng.chance(0.6);
+        benchmark::DoNotOptimize(tage.predict(pc));
+        tage.update(pc, taken);
+        pc = 0x400000 + (pc + 64) % 4096;
+    }
+}
+BENCHMARK(BM_TagePredict);
+
+void
+BM_EncodeNative(benchmark::State& state)
+{
+    video::VideoSpec spec = video::findVideo("cricket");
+    spec.seconds = 0.2;
+    const auto frames = video::generateVideo(spec);
+    codec::EncoderParams params = codec::presetParams("medium");
+    for (auto _ : state) {
+        codec::Encoder enc(params, spec.fps);
+        benchmark::DoNotOptimize(enc.encode(frames));
+    }
+    state.SetItemsProcessed(state.iterations() * frames.size());
+}
+BENCHMARK(BM_EncodeNative)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

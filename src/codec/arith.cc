@@ -1,0 +1,222 @@
+#include "codec/arith.h"
+
+#include "common/status.h"
+#include "trace/probe.h"
+
+namespace vtrans::codec {
+
+namespace {
+/** Renormalization threshold of the 32-bit range. */
+constexpr uint32_t kTop = 1u << 24;
+} // namespace
+
+// ---- Encoder ---------------------------------------------------------------
+
+void
+ArithEncoder::shiftLow()
+{
+    if (static_cast<uint32_t>(low_ >> 32) != 0
+        || static_cast<uint32_t>(low_) < 0xFF000000u) {
+        const auto carry = static_cast<uint8_t>(low_ >> 32);
+        while (cache_size_ != 0) {
+            out_.push_back(static_cast<uint8_t>(cache_ + carry));
+            cache_ = 0xFF;
+            --cache_size_;
+        }
+        cache_ = static_cast<uint8_t>(low_ >> 24);
+    }
+    ++cache_size_;
+    low_ = (low_ & 0x00FFFFFFull) << 8;
+}
+
+void
+ArithEncoder::encodeBit(BinModel& model, int bit)
+{
+    VT_ASSERT(!finished_, "encode after finish()");
+    VT_SITE(site, "arith.encodebit", 48, 7, Block);
+    VT_SITE(site_b, "arith.encodebit.br", 12, 1, BranchLoadDep);
+    trace::block(site);
+    trace::branch(site_b, bit != 0);
+
+    const uint32_t bound = (range_ >> 11) * model.prob0;
+    if (bit == 0) {
+        range_ = bound;
+    } else {
+        low_ += bound;
+        range_ -= bound;
+    }
+    model.update(bit);
+    while (range_ < kTop) {
+        shiftLow();
+        range_ <<= 8;
+    }
+}
+
+void
+ArithEncoder::encodeBypass(int bit)
+{
+    VT_ASSERT(!finished_, "encode after finish()");
+    range_ >>= 1;
+    if (bit != 0) {
+        low_ += range_;
+    }
+    while (range_ < kTop) {
+        shiftLow();
+        range_ <<= 8;
+    }
+}
+
+void
+ArithEncoder::encodeBypassBits(uint32_t value, int count)
+{
+    VT_ASSERT(count >= 0 && count <= 32, "bypass count out of range");
+    for (int i = count - 1; i >= 0; --i) {
+        encodeBypass(static_cast<int>((value >> i) & 1));
+    }
+}
+
+void
+ArithEncoder::encodeUe(ValueModels& models, uint32_t value)
+{
+    // Adaptive Elias-gamma: unary-coded bit length of (value + 1) over
+    // per-position contexts, then the payload bits in bypass.
+    const uint64_t code = static_cast<uint64_t>(value) + 1;
+    int len = 0;
+    while ((code >> (len + 1)) != 0) {
+        ++len;
+    }
+    for (int i = 0; i < len; ++i) {
+        encodeBit(models.length[i], 1);
+    }
+    encodeBit(models.length[len], 0);
+    if (len > 0) {
+        encodeBypassBits(static_cast<uint32_t>(code & ((1u << len) - 1)),
+                         len);
+    }
+}
+
+void
+ArithEncoder::encodeSe(ValueModels& models, int32_t value)
+{
+    const uint32_t magnitude =
+        value < 0 ? static_cast<uint32_t>(-static_cast<int64_t>(value))
+                  : static_cast<uint32_t>(value);
+    encodeUe(models, magnitude);
+    if (magnitude != 0) {
+        encodeBit(models.sign, value < 0 ? 1 : 0);
+    }
+}
+
+const std::vector<uint8_t>&
+ArithEncoder::finish()
+{
+    if (!finished_) {
+        for (int i = 0; i < 5; ++i) {
+            shiftLow();
+        }
+        finished_ = true;
+    }
+    return out_;
+}
+
+// ---- Decoder ---------------------------------------------------------------
+
+ArithDecoder::ArithDecoder(const std::vector<uint8_t>& data) : data_(data)
+{
+    // The first emitted byte is the encoder's initial cache (always 0);
+    // prime the code window with the next four real bytes after it.
+    nextByte();
+    for (int i = 0; i < 4; ++i) {
+        code_ = (code_ << 8) | nextByte();
+    }
+}
+
+uint8_t
+ArithDecoder::nextByte()
+{
+    // Reading past the end yields zeros: the encoder's final flush pads
+    // with enough bytes that any over-read cannot change decoded symbols.
+    return pos_ < data_.size() ? data_[pos_++] : 0;
+}
+
+int
+ArithDecoder::decodeBit(BinModel& model)
+{
+    VT_SITE(site, "arith.decodebit", 48, 7, Block);
+    trace::block(site);
+
+    const uint32_t bound = (range_ >> 11) * model.prob0;
+    int bit;
+    if (code_ < bound) {
+        range_ = bound;
+        bit = 0;
+    } else {
+        code_ -= bound;
+        range_ -= bound;
+        bit = 1;
+    }
+    VT_SITE(site_b, "arith.decodebit.br", 12, 1, BranchLoadDep);
+    trace::branch(site_b, bit != 0);
+    model.update(bit);
+    while (range_ < kTop) {
+        range_ <<= 8;
+        code_ = (code_ << 8) | nextByte();
+    }
+    return bit;
+}
+
+int
+ArithDecoder::decodeBypass()
+{
+    range_ >>= 1;
+    int bit = 0;
+    if (code_ >= range_) {
+        code_ -= range_;
+        bit = 1;
+    }
+    while (range_ < kTop) {
+        range_ <<= 8;
+        code_ = (code_ << 8) | nextByte();
+    }
+    return bit;
+}
+
+uint32_t
+ArithDecoder::decodeBypassBits(int count)
+{
+    VT_ASSERT(count >= 0 && count <= 32, "bypass count out of range");
+    uint32_t value = 0;
+    for (int i = 0; i < count; ++i) {
+        value = (value << 1) | static_cast<uint32_t>(decodeBypass());
+    }
+    return value;
+}
+
+uint32_t
+ArithDecoder::decodeUe(ValueModels& models)
+{
+    int len = 0;
+    while (decodeBit(models.length[len]) == 1) {
+        ++len;
+        VT_ASSERT(len < 32, "malformed adaptive gamma code");
+    }
+    uint64_t code = 1;
+    if (len > 0) {
+        code = (1ull << len) | decodeBypassBits(len);
+    }
+    return static_cast<uint32_t>(code - 1);
+}
+
+int32_t
+ArithDecoder::decodeSe(ValueModels& models)
+{
+    const uint32_t magnitude = decodeUe(models);
+    if (magnitude == 0) {
+        return 0;
+    }
+    const int negative = decodeBit(models.sign);
+    return negative ? -static_cast<int32_t>(magnitude)
+                    : static_cast<int32_t>(magnitude);
+}
+
+} // namespace vtrans::codec

@@ -1,0 +1,89 @@
+#ifndef VTRANS_CODEC_BITSTREAM_H_
+#define VTRANS_CODEC_BITSTREAM_H_
+
+/**
+ * @file
+ * Bit-level serialization with unsigned/signed exp-Golomb codes — the
+ * entropy-coding substrate of the VX1 bitstream. Writer and reader are
+ * instrumented so the simulator observes the byte-granular store/load
+ * traffic of bitstream packing, one of the branchy store-heavy phases the
+ * paper identifies in the encode pipeline.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace vtrans::codec {
+
+/** Serializes bits MSB-first into a byte buffer. */
+class BitWriter
+{
+  public:
+    BitWriter();
+
+    /** Appends `count` bits (<= 32) from the low bits of `value`. */
+    void putBits(uint32_t value, int count);
+
+    /** Appends an unsigned exp-Golomb code. */
+    void putUe(uint32_t value);
+
+    /** Appends a signed exp-Golomb code. */
+    void putSe(int32_t value);
+
+    /** Pads with zero bits to the next byte boundary. */
+    void align();
+
+    /** Total bits written so far (including pending partial byte). */
+    uint64_t bitCount() const { return bits_written_; }
+
+    /** Finishes (aligns) and returns the byte buffer. */
+    const std::vector<uint8_t>& finish();
+
+    /** Read-only view of the bytes flushed so far. */
+    const std::vector<uint8_t>& bytes() const { return buffer_; }
+
+  private:
+    void flushByte();
+
+    std::vector<uint8_t> buffer_;
+    uint32_t acc_ = 0;       ///< Pending bits, left-aligned in 8-bit window.
+    int acc_bits_ = 0;       ///< Number of pending bits (< 8).
+    uint64_t bits_written_ = 0;
+    uint64_t sim_base_;      ///< Simulated address of buffer_[0].
+    bool finished_ = false;
+};
+
+/** Deserializes bits written by BitWriter. */
+class BitReader
+{
+  public:
+    /** Wraps a byte buffer (not owned; must outlive the reader). */
+    explicit BitReader(const std::vector<uint8_t>& data);
+
+    /** Reads `count` bits (<= 32), MSB-first. */
+    uint32_t getBits(int count);
+
+    /** Reads an unsigned exp-Golomb code. */
+    uint32_t getUe();
+
+    /** Reads a signed exp-Golomb code. */
+    int32_t getSe();
+
+    /** Skips to the next byte boundary. */
+    void align();
+
+    /** True when all bytes have been consumed. */
+    bool exhausted() const;
+
+    /** Bits consumed so far. */
+    uint64_t bitPosition() const { return bit_pos_; }
+
+  private:
+    const std::vector<uint8_t>& data_;
+    uint64_t bit_pos_ = 0;
+    uint64_t sim_base_; ///< Simulated address of data_[0].
+};
+
+} // namespace vtrans::codec
+
+#endif // VTRANS_CODEC_BITSTREAM_H_

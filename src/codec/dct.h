@@ -1,0 +1,41 @@
+#ifndef VTRANS_CODEC_DCT_H_
+#define VTRANS_CODEC_DCT_H_
+
+/**
+ * @file
+ * The 4x4 integer core transform (H.264-style) and scalar quantization.
+ * Encoder path: forwardDct -> quantize (-> trellis) -> bitstream;
+ * reconstruction path: dequantize -> inverseDct -> add prediction. The
+ * integer design guarantees bit-exact encoder/decoder agreement.
+ */
+
+#include <cstdint>
+
+namespace vtrans::codec {
+
+/**
+ * Forward 4x4 core transform of a residual block (row-major int16).
+ * Output coefficients overwrite the input array.
+ */
+void forwardDct4x4(int16_t block[16]);
+
+/**
+ * Inverse 4x4 core transform of dequantized coefficients, producing the
+ * residual (with the standard >> 6 normalization folded in).
+ */
+void inverseDct4x4(int16_t block[16]);
+
+/**
+ * Quantizes transform coefficients in place with a dead-zone quantizer.
+ * @param qp Quantization parameter 0..51.
+ * @param intra Intra blocks use a larger dead-zone share (1/3 vs 1/6).
+ * @return Number of non-zero quantized levels.
+ */
+int quantize4x4(int16_t block[16], int qp, bool intra);
+
+/** Dequantizes levels in place (inverse of quantize4x4's scaling). */
+void dequantize4x4(int16_t block[16], int qp);
+
+} // namespace vtrans::codec
+
+#endif // VTRANS_CODEC_DCT_H_

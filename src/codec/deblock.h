@@ -1,0 +1,39 @@
+#ifndef VTRANS_CODEC_DEBLOCK_H_
+#define VTRANS_CODEC_DEBLOCK_H_
+
+/**
+ * @file
+ * In-loop deblocking filter. Runs identically in the encoder's
+ * reconstruction loop and in the decoder, smoothing block-boundary
+ * discontinuities as a function of QP and the Table II alpha/beta offsets.
+ */
+
+#include "video/frame.h"
+
+namespace vtrans::codec {
+
+/** Per-frame deblocking configuration. */
+struct DeblockConfig
+{
+    bool enabled = true;
+    int alpha_offset = 0;  ///< Table II "deblock [a:b]" first value.
+    int beta_offset = 0;   ///< Second value.
+};
+
+/** Edge-detection threshold alpha for a QP (clamped table approximation). */
+int deblockAlpha(int qp, int offset);
+
+/** Flatness threshold beta for a QP. */
+int deblockBeta(int qp, int offset);
+
+/**
+ * Filters all macroblock and internal 8x8 edges of the luma plane and the
+ * macroblock edges of both chroma planes, in place.
+ * @param qp_map Per-macroblock QP values (row-major, mb_w x mb_h).
+ */
+void deblockFrame(video::Frame& frame, const DeblockConfig& config,
+                  const int* qp_map, int mb_w, int mb_h);
+
+} // namespace vtrans::codec
+
+#endif // VTRANS_CODEC_DEBLOCK_H_

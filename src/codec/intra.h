@@ -1,0 +1,74 @@
+#ifndef VTRANS_CODEC_INTRA_H_
+#define VTRANS_CODEC_INTRA_H_
+
+/**
+ * @file
+ * Intra-frame prediction (paper §II-A): 16x16 luma modes (V/H/DC/Planar),
+ * 4x4 luma modes (V/H/DC/diagonal down-left/down-right), and DC chroma
+ * prediction. Predictions read already-reconstructed neighbor pixels so
+ * encoder and decoder agree exactly.
+ */
+
+#include <cstdint>
+
+#include "video/frame.h"
+
+namespace vtrans::codec {
+
+/** Intra 16x16 luma prediction modes. */
+enum class Intra16Mode : uint8_t { V = 0, H = 1, DC = 2, Planar = 3 };
+constexpr int kIntra16Modes = 4;
+
+/** Intra 4x4 luma prediction modes. */
+enum class Intra4Mode : uint8_t {
+    V = 0,
+    H = 1,
+    DC = 2,
+    DiagDL = 3,
+    DiagDR = 4,
+};
+constexpr int kIntra4Modes = 5;
+
+/**
+ * Predicts a 16x16 luma macroblock at pixel (mx, my) from reconstructed
+ * neighbors in `recon` into `pred` (stride 16). Unavailable neighbors
+ * (frame edges) degrade per the usual rules (DC 128 fallback, etc.).
+ */
+void predictIntra16(const video::Frame& recon, int mx, int my,
+                    Intra16Mode mode, uint8_t pred[256]);
+
+/**
+ * Predicts a 4x4 luma block at pixel (x, y) into `pred` (stride 4).
+ * Neighbors to the left/top must already be reconstructed in `recon`.
+ */
+void predictIntra4(const video::Frame& recon, int x, int y, Intra4Mode mode,
+                   uint8_t pred[16]);
+
+/**
+ * Predicts an 8x8 chroma block (plane Cb/Cr) at chroma pixel (cx, cy)
+ * using DC prediction from reconstructed neighbors.
+ */
+void predictChromaDc(const video::Frame& recon, video::Plane plane, int cx,
+                     int cy, uint8_t pred[64]);
+
+/**
+ * Evaluates all 16x16 modes and returns the best by SAD/SATD cost plus
+ * a per-mode rate penalty.
+ * @param use_satd Use Hadamard SATD (subme >= 7 class decisions).
+ * @param lambda_fp Fixed-point lambda (see tables.h).
+ * @param cost_out Receives the winning cost.
+ */
+Intra16Mode chooseIntra16(const video::Frame& cur, const video::Frame& recon,
+                          int mx, int my, bool use_satd, int lambda_fp,
+                          int* cost_out);
+
+/**
+ * Evaluates all 4x4 modes for the block at (x, y) and returns the best.
+ */
+Intra4Mode chooseIntra4(const video::Frame& cur, const video::Frame& recon,
+                        int x, int y, bool use_satd, int lambda_fp,
+                        int* cost_out);
+
+} // namespace vtrans::codec
+
+#endif // VTRANS_CODEC_INTRA_H_

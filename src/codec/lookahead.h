@@ -1,0 +1,64 @@
+#ifndef VTRANS_CODEC_LOOKAHEAD_H_
+#define VTRANS_CODEC_LOOKAHEAD_H_
+
+/**
+ * @file
+ * Lookahead analysis: cheap downsampled-domain cost estimation that feeds
+ * frame-type decision (I/P/B, paper §II-B3), scene-cut detection, adaptive
+ * B-frame placement (`b-adapt` 0/1/2 in Table II), and the complexity
+ * signal used by CRF/ABR rate control.
+ */
+
+#include <vector>
+
+#include "codec/params.h"
+#include "video/frame.h"
+
+namespace vtrans::codec {
+
+/** Per-frame costs estimated by the lookahead. */
+struct FrameCosts
+{
+    int64_t intra_cost = 0;  ///< Estimated bits-proxy for intra coding.
+    int64_t inter_cost = 0;  ///< Estimated bits-proxy vs previous frame.
+};
+
+/** A planned frame: its type plus the display index it refers to. */
+struct PlannedFrame
+{
+    int display_index = 0;
+    FrameType type = FrameType::P;
+};
+
+/**
+ * Estimates intra and inter (vs `prev`, nullptr for the first frame)
+ * cost proxies for a frame, using half-resolution 8x8 SAD analysis with a
+ * +-2 diamond search, as x264's lookahead does.
+ */
+FrameCosts estimateFrameCosts(const video::Frame& frame,
+                              const video::Frame* prev);
+
+/**
+ * Plans the frame types of an input sequence in display order.
+ *
+ * Rules, following §II and Table II:
+ *  - frame 0 and every keyint-th anchor is I;
+ *  - a frame whose inter cost exceeds (scenecut/100) x intra cost opens a
+ *    new scene as I (scenecut=0 disables detection);
+ *  - up to `bframes` consecutive B frames are placed between anchors,
+ *    fixed pattern for b_adapt=0, greedy cost test for b_adapt=1, and a
+ *    windowed Viterbi over run lengths for b_adapt=2.
+ */
+std::vector<PlannedFrame> planFrameTypes(
+    const std::vector<video::Frame>& frames, const EncoderParams& params,
+    std::vector<FrameCosts>* costs_out = nullptr);
+
+/**
+ * Converts a display-order plan into coded order: each B frame is emitted
+ * after the anchor (I/P) it references on both sides.
+ */
+std::vector<PlannedFrame> codedOrder(const std::vector<PlannedFrame>& plan);
+
+} // namespace vtrans::codec
+
+#endif // VTRANS_CODEC_LOOKAHEAD_H_

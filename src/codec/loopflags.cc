@@ -1,0 +1,21 @@
+#include "codec/loopflags.h"
+
+namespace vtrans::codec {
+
+namespace {
+LoopOptFlags g_flags;
+} // namespace
+
+void
+setLoopOptFlags(const LoopOptFlags& flags)
+{
+    g_flags = flags;
+}
+
+const LoopOptFlags&
+loopOptFlags()
+{
+    return g_flags;
+}
+
+} // namespace vtrans::codec

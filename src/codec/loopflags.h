@@ -1,0 +1,40 @@
+#ifndef VTRANS_CODEC_LOOPFLAGS_H_
+#define VTRANS_CODEC_LOOPFLAGS_H_
+
+/**
+ * @file
+ * Loop-optimization switches for the codec's hot pixel loops — the
+ * concrete transformations the Graphite polyhedral pass applies when
+ * FFmpeg is compiled with -floop-interchange -ftree-loop-distribution
+ * -floop-block (paper §III-D1). Each switch selects a semantically
+ * identical loop schedule with better locality:
+ *
+ *  - interchange_deblock: the vertical-edge deblocking pass walks the
+ *    frame column-major by default (edge-by-edge); interchanged, it walks
+ *    row-major, turning a strided miss storm into sequential reuse.
+ *  - fuse_lookahead: the lookahead computes intra and inter cost proxies
+ *    in two separate passes over the half-resolution planes; fused, each
+ *    block's pixels are loaded once for both.
+ *
+ * The schedules are verified legal by the loopopt dependence test (see
+ * tests/test_loopopt.cc) and produce bit-identical output either way.
+ */
+
+namespace vtrans::codec {
+
+/** Which Graphite-style loop transformations are active. */
+struct LoopOptFlags
+{
+    bool interchange_deblock = false;
+    bool fuse_lookahead = false;
+};
+
+/** Sets the process-wide loop-optimization flags. */
+void setLoopOptFlags(const LoopOptFlags& flags);
+
+/** Reads the current flags. */
+const LoopOptFlags& loopOptFlags();
+
+} // namespace vtrans::codec
+
+#endif // VTRANS_CODEC_LOOPFLAGS_H_

@@ -1,0 +1,64 @@
+#ifndef VTRANS_CODEC_ME_H_
+#define VTRANS_CODEC_ME_H_
+
+/**
+ * @file
+ * Motion estimation (paper §II-B2) — "the most complex and time-consuming
+ * component of the x264 encoding process". Implements the four integer-pel
+ * search patterns the paper studies (dia, hex, umh, esa; tesa adds an SATD
+ * re-rank) plus sub-pel refinement controlled by `subme`, and per-ref
+ * search over the reference list controlled by `refs`.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "codec/mv.h"
+#include "codec/params.h"
+#include "video/frame.h"
+
+namespace vtrans::codec {
+
+/** Result of a motion search for one block. */
+struct MeResult
+{
+    Mv mv;                 ///< Best MV, quarter-pel.
+    int ref = 0;           ///< Index into the reference list.
+    int cost = INT32_MAX;  ///< Distortion + lambda * rate.
+    int sad = INT32_MAX;   ///< Raw distortion of the best candidate.
+};
+
+/** Inputs shared by every search in a frame. */
+struct MeContext
+{
+    const video::Frame* cur = nullptr;
+    const std::vector<const video::Frame*>* refs = nullptr;
+    MeMethod method = MeMethod::Hex;
+    int merange = 16;
+    int subme = 7;
+    int lambda_fp = 16;    ///< Fixed-point lambda (tables.h).
+
+    /** Counters for the characterization harness. */
+    mutable uint64_t candidates_evaluated = 0;
+};
+
+/**
+ * Searches a w x h luma block at (cx, cy) in one reference frame.
+ * @param pred_mv The MV predictor (rate costs are relative to it).
+ * @param ref_idx Which reference to search (cost includes ref signalling).
+ * @return Best MV and cost for this reference.
+ */
+MeResult searchOneRef(const MeContext& ctx, int cx, int cy, int w, int h,
+                      const Mv& pred_mv, int ref_idx,
+                      int cost_bound = INT32_MAX);
+
+/**
+ * Searches every reference in the list and returns the overall best
+ * (ref signalling bits included in the cost comparison).
+ */
+MeResult searchAllRefs(const MeContext& ctx, int cx, int cy, int w, int h,
+                       const Mv& pred_mv);
+
+} // namespace vtrans::codec
+
+#endif // VTRANS_CODEC_ME_H_

@@ -1,0 +1,76 @@
+#ifndef VTRANS_CODEC_MV_H_
+#define VTRANS_CODEC_MV_H_
+
+/**
+ * @file
+ * Motion vectors and their rate cost. MVs are in quarter-pel units
+ * throughout the codec; rate costs mirror the exp-Golomb lengths the
+ * bitstream writer will actually emit for the MV difference.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace vtrans::codec {
+
+/** A motion vector in quarter-pel units. */
+struct Mv
+{
+    int16_t x = 0;
+    int16_t y = 0;
+
+    bool operator==(const Mv& o) const { return x == o.x && y == o.y; }
+    bool operator!=(const Mv& o) const { return !(*this == o); }
+};
+
+/** Exp-Golomb code length in bits of an unsigned value. */
+inline int
+ueBits(uint32_t value)
+{
+    const uint64_t code = static_cast<uint64_t>(value) + 1;
+    int len = 0;
+    while ((code >> len) > 1) {
+        ++len;
+    }
+    return 2 * len + 1;
+}
+
+/** Exp-Golomb code length in bits of a signed value. */
+inline int
+seBits(int32_t value)
+{
+    const uint32_t mapped = value > 0
+                                ? static_cast<uint32_t>(value) * 2 - 1
+                                : static_cast<uint32_t>(-value) * 2;
+    return ueBits(mapped);
+}
+
+/** Bits to encode the MV difference (mv - pred), both in quarter-pel. */
+inline int
+mvdBits(const Mv& mv, const Mv& pred)
+{
+    return seBits(mv.x - pred.x) + seBits(mv.y - pred.y);
+}
+
+/** Median of three values (the H.264 MV predictor combinator). */
+inline int
+median3(int a, int b, int c)
+{
+    const int mx = a > b ? a : b;
+    const int mn = a > b ? b : a;
+    return c > mx ? mx : (c < mn ? mn : c);
+}
+
+/** Median MV predictor from left/top/top-right neighbor MVs. */
+inline Mv
+medianMv(const Mv& left, const Mv& top, const Mv& topright)
+{
+    Mv out;
+    out.x = static_cast<int16_t>(median3(left.x, top.x, topright.x));
+    out.y = static_cast<int16_t>(median3(left.y, top.y, topright.y));
+    return out;
+}
+
+} // namespace vtrans::codec
+
+#endif // VTRANS_CODEC_MV_H_

@@ -1,0 +1,112 @@
+#ifndef VTRANS_CODEC_PARAMS_H_
+#define VTRANS_CODEC_PARAMS_H_
+
+/**
+ * @file
+ * Encoder configuration: every tunable the paper varies — crf, refs, the
+ * rate-control modes of §II-B1, the motion-estimation methods of §II-B2,
+ * partition/mode-decision options, trellis levels, and the ten x264
+ * presets of Table II.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vtrans::codec {
+
+/** Rate-control modes (paper §II-B1). */
+enum class RateControl : uint8_t {
+    CQP,      ///< Constant quantization parameter.
+    CRF,      ///< Constant rate factor (quality-targeted); x264 default.
+    ABR,      ///< Single-pass average bitrate.
+    TwoPass,  ///< Two-pass average bitrate (first pass estimates).
+    CBR,      ///< Constant bitrate, enforced at macroblock granularity.
+    VBV,      ///< CRF constrained by a decoder buffer model.
+};
+
+/** Integer-pixel motion estimation methods (paper §II-B2). */
+enum class MeMethod : uint8_t {
+    Dia,   ///< Small diamond descent.
+    Hex,   ///< Hexagon descent plus diamond refinement.
+    Umh,   ///< Uneven multi-hexagon (cross + square + hex rings).
+    Esa,   ///< Exhaustive search over the full range.
+    Tesa,  ///< Exhaustive with an extra SATD pass on near-best candidates.
+};
+
+/** Frame types (paper §II-A). */
+enum class FrameType : uint8_t { I = 0, P = 1, B = 2 };
+
+/** Macroblock partitioning features a preset may enable. */
+struct Partitions
+{
+    bool p8x8 = true;  ///< Inter 8x8 partitions in P/B frames.
+    bool i4x4 = true;  ///< Intra 4x4 prediction.
+    bool i8x8 = true;  ///< Intra 8x8 (folded into the i4x4 path here).
+};
+
+/**
+ * Full encoder parameter set.
+ *
+ * Defaults correspond to the paper's default operating point: the
+ * `medium` preset with crf=23 and refs=3.
+ */
+struct EncoderParams
+{
+    // Rate control.
+    RateControl rc = RateControl::CRF;
+    int crf = 23;              ///< 0 (lossless-ish) .. 51 (worst).
+    int qp = 23;               ///< For CQP mode.
+    double bitrate_kbps = 1000.0;  ///< Target for ABR/TwoPass/CBR.
+    double vbv_maxrate_kbps = 0.0; ///< VBV cap (0 = off).
+    double vbv_buffer_kbits = 0.0; ///< VBV buffer size.
+
+    // Reference frames & GOP structure.
+    int refs = 3;              ///< 1..16 reference frames.
+    int keyint = 250;          ///< Maximum GOP length.
+    int bframes = 3;           ///< Max consecutive B frames.
+    int b_adapt = 1;           ///< 0 fixed, 1 greedy, 2 lookahead-trellis.
+    int scenecut = 40;         ///< Threshold (0 disables detection).
+
+    // Analysis.
+    MeMethod me = MeMethod::Hex;
+    int merange = 16;          ///< Full-pel search range.
+    int subme = 7;             ///< Sub-pixel refinement level 0..11.
+    Partitions partitions;
+    int trellis = 1;           ///< 0 off, 1 final-encode, 2 all decisions.
+
+    // Adaptive quantization & deblocking.
+    int aq_mode = 1;           ///< 0 off, 1 variance AQ.
+    double aq_strength = 1.0;
+    bool deblock = true;
+    int deblock_alpha = 1;     ///< Alpha offset (Table II "deblock [a:b]").
+    int deblock_beta = 0;      ///< Beta offset.
+
+    std::string preset = "medium";
+
+    /** Validates ranges; fatal error on invalid user input. */
+    void validate() const;
+};
+
+/** Names of the ten x264 presets, fastest first. */
+const std::vector<std::string>& presetNames();
+
+/**
+ * Returns the parameter set for a named preset (Table II), with the
+ * default crf=23. Per the paper's methodology (§III-C2), `refs` is NOT
+ * taken from the preset by default — the paper studies crf/refs separately
+ * and pins refs=3 for the preset sweep. Pass `preset_refs=true` to use the
+ * preset's own refs value (Table II bottom row).
+ */
+EncoderParams presetParams(const std::string& name, bool preset_refs = false);
+
+/** Human-readable name of a rate-control mode. */
+std::string toString(RateControl rc);
+/** Human-readable name of an ME method. */
+std::string toString(MeMethod me);
+/** Human-readable name of a frame type ("I"/"P"/"B"). */
+std::string toString(FrameType type);
+
+} // namespace vtrans::codec
+
+#endif // VTRANS_CODEC_PARAMS_H_

@@ -1,0 +1,266 @@
+#include "codec/pixel.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/status.h"
+#include "trace/probe.h"
+
+namespace vtrans::codec {
+
+using video::Frame;
+using video::Plane;
+
+namespace {
+
+/** Clamped read of a luma pixel (edge extension for out-of-frame MVs). */
+inline int
+refPixel(const Frame& ref, int x, int y)
+{
+    x = std::clamp(x, 0, ref.width() - 1);
+    y = std::clamp(y, 0, ref.height() - 1);
+    return ref.at(Plane::Y, x, y);
+}
+
+/** Clamped read of a chroma pixel. */
+inline int
+refChroma(const Frame& ref, Plane p, int x, int y)
+{
+    x = std::clamp(x, 0, ref.chromaWidth() - 1);
+    y = std::clamp(y, 0, ref.chromaHeight() - 1);
+    return ref.at(p, x, y);
+}
+
+/** Quarter-pel bilinear sample of the luma plane at (x4, y4)/4. */
+inline int
+sampleQpel(const Frame& ref, int x4, int y4)
+{
+    const int xi = x4 >> 2;
+    const int yi = y4 >> 2;
+    const int dx = x4 & 3;
+    const int dy = y4 & 3;
+    if (dx == 0 && dy == 0) {
+        return refPixel(ref, xi, yi);
+    }
+    const int p00 = refPixel(ref, xi, yi);
+    const int p10 = refPixel(ref, xi + 1, yi);
+    const int p01 = refPixel(ref, xi, yi + 1);
+    const int p11 = refPixel(ref, xi + 1, yi + 1);
+    return ((4 - dx) * (4 - dy) * p00 + dx * (4 - dy) * p10
+            + (4 - dx) * dy * p01 + dx * dy * p11 + 8)
+           >> 4;
+}
+
+} // namespace
+
+int
+sadBlock(const Frame& cur, int cx, int cy, const Frame& ref, int rx, int ry,
+         int w, int h, int best)
+{
+    VT_ASSERT(w == 4 || w == 8 || w == 16, "unsupported SAD width");
+    // SIMD SAD works in 8-row chunks; early termination is only checked
+    // between chunks, as in x264's pixel_sad ladders.
+    const int chunk = h >= 8 ? 8 : h;
+    int sad = 0;
+    for (int y0 = 0; y0 < h; y0 += chunk) {
+        VT_SITE(site_rows, "pixel.sad.rows8", 104, 16, BlockLoadDep);
+        trace::block(site_rows);
+        for (int dy = 0; dy < chunk; ++dy) {
+            const int y = y0 + dy;
+            trace::load(cur.simAddr(Plane::Y, cx, cy + y), w);
+            trace::load(ref.simAddr(Plane::Y,
+                                    std::clamp(rx, 0, ref.width() - 1),
+                                    std::clamp(ry + y, 0, ref.height() - 1)),
+                        w);
+            for (int x = 0; x < w; ++x) {
+                sad += std::abs(static_cast<int>(cur.at(Plane::Y, cx + x,
+                                                        cy + y))
+                                - refPixel(ref, rx + x, ry + y));
+            }
+        }
+        // Early termination: data-dependent branch against the best cost.
+        VT_SITE(site_early, "pixel.sad.early_exit", 12, 1, BranchLoadDep);
+        const bool bail = sad >= best;
+        trace::branch(site_early, bail);
+        if (bail) {
+            return sad;
+        }
+    }
+    return sad;
+}
+
+int
+sadSubpel(const Frame& cur, int cx, int cy, const Frame& ref, int mvx,
+          int mvy, int w, int h, int best)
+{
+    const int bx4 = cx * 4 + mvx;
+    const int by4 = cy * 4 + mvy;
+    int sad = 0;
+    for (int y0 = 0; y0 < h; y0 += 4) {
+        // Interpolating SAD touches two reference rows per output row.
+        VT_SITE(site_rows, "pixel.sadsub.rows4", 72, 14, BlockLoadDep);
+        trace::block(site_rows);
+        for (int dy = 0; dy < 4; ++dy) {
+            const int y = y0 + dy;
+            trace::load(cur.simAddr(Plane::Y, cx, cy + y), w);
+            const int ry = std::clamp((by4 >> 2) + y, 0, ref.height() - 1);
+            const int rx = std::clamp(bx4 >> 2, 0, ref.width() - 1);
+            trace::load(ref.simAddr(Plane::Y, rx, ry), w + 1);
+            trace::load(ref.simAddr(Plane::Y, rx,
+                                    std::min(ry + 1, ref.height() - 1)),
+                        w + 1);
+            for (int x = 0; x < w; ++x) {
+                const int pred = sampleQpel(ref, bx4 + x * 4, by4 + y * 4);
+                sad += std::abs(
+                    static_cast<int>(cur.at(Plane::Y, cx + x, cy + y))
+                    - pred);
+            }
+        }
+        VT_SITE(site_early, "pixel.sadsub.early_exit", 12, 1, BranchLoadDep);
+        const bool bail = sad >= best;
+        trace::branch(site_early, bail);
+        if (bail) {
+            return sad;
+        }
+    }
+    return sad;
+}
+
+int
+satd4x4(const Frame& cur, int cx, int cy, const uint8_t* pred, int pstride,
+        uint64_t pred_sim)
+{
+    VT_SITE(site, "pixel.satd4x4", 128, 26, BlockLoadDep);
+    trace::block(site);
+
+    int d[16];
+    for (int y = 0; y < 4; ++y) {
+        trace::load(cur.simAddr(Plane::Y, cx, cy + y), 4);
+        trace::load(pred_sim + static_cast<uint64_t>(y) * pstride, 4);
+        for (int x = 0; x < 4; ++x) {
+            d[y * 4 + x] = static_cast<int>(cur.at(Plane::Y, cx + x, cy + y))
+                           - pred[y * pstride + x];
+        }
+    }
+
+    // 4-point Hadamard on rows then columns.
+    for (int y = 0; y < 4; ++y) {
+        int* r = d + y * 4;
+        const int a = r[0] + r[1];
+        const int b = r[0] - r[1];
+        const int c = r[2] + r[3];
+        const int e = r[2] - r[3];
+        r[0] = a + c;
+        r[1] = b + e;
+        r[2] = a - c;
+        r[3] = b - e;
+    }
+    int satd = 0;
+    for (int x = 0; x < 4; ++x) {
+        const int a = d[x] + d[4 + x];
+        const int b = d[x] - d[4 + x];
+        const int c = d[8 + x] + d[12 + x];
+        const int e = d[8 + x] - d[12 + x];
+        satd += std::abs(a + c) + std::abs(b + e) + std::abs(a - c)
+                + std::abs(b - e);
+    }
+    return (satd + 1) / 2;
+}
+
+int
+satdBlock(const Frame& cur, int cx, int cy, const uint8_t* pred, int pstride,
+          int w, int h, uint64_t pred_sim)
+{
+    int total = 0;
+    for (int y = 0; y < h; y += 4) {
+        for (int x = 0; x < w; x += 4) {
+            total += satd4x4(cur, cx + x, cy + y, pred + y * pstride + x,
+                             pstride,
+                             pred_sim + static_cast<uint64_t>(y) * pstride
+                                 + x);
+        }
+    }
+    return total;
+}
+
+void
+mcLumaBlock(uint8_t* dst, int dstride, const Frame& ref, int cx, int cy,
+            int mvx, int mvy, int w, int h, uint64_t dst_sim)
+{
+    const int bx4 = cx * 4 + mvx;
+    const int by4 = cy * 4 + mvy;
+    const bool subpel = (mvx & 3) || (mvy & 3);
+    for (int y = 0; y < h; ++y) {
+        VT_SITE(site_row, "pixel.mc.row", 48, 6, Block);
+        trace::block(site_row);
+        const int ry = std::clamp((by4 >> 2) + y, 0, ref.height() - 1);
+        const int rx = std::clamp(bx4 >> 2, 0, ref.width() - 1);
+        trace::load(ref.simAddr(Plane::Y, rx, ry), w + 1);
+        if (subpel) {
+            trace::load(ref.simAddr(Plane::Y, rx,
+                                    std::min(ry + 1, ref.height() - 1)),
+                        w + 1);
+        }
+        trace::store(dst_sim + static_cast<uint64_t>(y) * dstride, w);
+        for (int x = 0; x < w; ++x) {
+            dst[y * dstride + x] =
+                static_cast<uint8_t>(sampleQpel(ref, bx4 + x * 4,
+                                                by4 + y * 4));
+        }
+    }
+}
+
+void
+mcChromaBlock(uint8_t* dst, int dstride, const Frame& ref, Plane plane,
+              int cx, int cy, int mvx, int mvy, int w, int h,
+              uint64_t dst_sim)
+{
+    // Chroma plane is half resolution; a luma quarter-pel MV becomes an
+    // eighth-pel chroma MV. We round to chroma quarter-pel and sample
+    // bilinearly at half the displacement.
+    const int cmvx = mvx / 2;
+    const int cmvy = mvy / 2;
+    const int bx4 = cx * 4 + cmvx;
+    const int by4 = cy * 4 + cmvy;
+    for (int y = 0; y < h; ++y) {
+        VT_SITE(site_row, "pixel.mcchroma.row", 44, 4, Block);
+        trace::block(site_row);
+        const int ry =
+            std::clamp((by4 >> 2) + y, 0, ref.chromaHeight() - 1);
+        const int rx = std::clamp(bx4 >> 2, 0, ref.chromaWidth() - 1);
+        trace::load(ref.simAddr(plane, rx, ry), w + 1);
+        trace::store(dst_sim + static_cast<uint64_t>(y) * dstride, w);
+        for (int x = 0; x < w; ++x) {
+            const int x4 = bx4 + x * 4;
+            const int y4 = by4 + y * 4;
+            const int xi = x4 >> 2;
+            const int yi = y4 >> 2;
+            const int dx = x4 & 3;
+            const int dy = y4 & 3;
+            const int p00 = refChroma(ref, plane, xi, yi);
+            const int p10 = refChroma(ref, plane, xi + 1, yi);
+            const int p01 = refChroma(ref, plane, xi, yi + 1);
+            const int p11 = refChroma(ref, plane, xi + 1, yi + 1);
+            dst[y * dstride + x] = static_cast<uint8_t>(
+                ((4 - dx) * (4 - dy) * p00 + dx * (4 - dy) * p10
+                 + (4 - dx) * dy * p01 + dx * dy * p11 + 8)
+                >> 4);
+        }
+    }
+}
+
+void
+averageBlocks(uint8_t* dst, const uint8_t* a, const uint8_t* b, int n,
+              uint64_t dst_sim)
+{
+    VT_SITE(site, "pixel.average", 40, 8, Block);
+    trace::block(site);
+    trace::load(static_cast<uint64_t>(Scratch::Pred), n);
+    trace::load(static_cast<uint64_t>(Scratch::Pred2), n);
+    trace::store(dst_sim, n);
+    for (int i = 0; i < n; ++i) {
+        dst[i] = static_cast<uint8_t>((a[i] + b[i] + 1) >> 1);
+    }
+}
+
+} // namespace vtrans::codec

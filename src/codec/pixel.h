@@ -1,0 +1,94 @@
+#ifndef VTRANS_CODEC_PIXEL_H_
+#define VTRANS_CODEC_PIXEL_H_
+
+/**
+ * @file
+ * Pixel-domain cost kernels and motion compensation: SAD with early
+ * termination, Hadamard SATD, and quarter-pel interpolation. These are the
+ * transcoding hot loops whose instruction/memory/branch stream dominates
+ * the microarchitectural profile, so they carry the densest probes.
+ *
+ * Simulated scratch buffers (prediction blocks, residuals) live at fixed
+ * addresses in a dedicated region so they behave like x264's hot stack and
+ * stay L1-resident — distinct from the streaming frame planes.
+ */
+
+#include <cstdint>
+
+#include "video/frame.h"
+
+namespace vtrans::codec {
+
+/** Base simulated address of the encoder's hot scratch buffers. */
+constexpr uint64_t kScratchBase = 0x80000000ull;
+
+/** Simulated addresses of well-known scratch buffers. */
+enum class Scratch : uint64_t {
+    Pred = kScratchBase,            ///< Prediction block (<= 256 B).
+    Pred2 = kScratchBase + 0x400,   ///< Second prediction (bi-dir).
+    Residual = kScratchBase + 0x800, ///< Residual block (int16).
+    Coeff = kScratchBase + 0xc00,   ///< Transform coefficients (int16).
+    Dequant = kScratchBase + 0x1000, ///< Dequantized coefficients.
+    Recon = kScratchBase + 0x1400,  ///< Reconstruction staging.
+    Lookahead = kScratchBase + 0x1800, ///< Lookahead downsampled rows.
+};
+
+/** Returns the simulated address of `offset` bytes into a scratch. */
+inline uint64_t
+scratchAddr(Scratch s, uint32_t offset)
+{
+    return static_cast<uint64_t>(s) + offset;
+}
+
+/**
+ * Sum of absolute differences between a w x h block of `cur` at (cx, cy)
+ * and of `ref` at (rx, ry), with edge clamping on the reference and early
+ * termination against `best` after every 4 rows. w must be 4, 8 or 16.
+ */
+int sadBlock(const video::Frame& cur, int cx, int cy, const video::Frame& ref,
+             int rx, int ry, int w, int h, int best);
+
+/**
+ * SAD between the current block and a quarter-pel interpolated reference
+ * block. (mvx, mvy) are in quarter-pel units relative to (cx, cy).
+ */
+int sadSubpel(const video::Frame& cur, int cx, int cy,
+              const video::Frame& ref, int mvx, int mvy, int w, int h,
+              int best);
+
+/**
+ * 4x4 Hadamard-transformed SAD between the source block at (cx, cy) and a
+ * prediction buffer (stride `pstride`). Used for subme >= 7 decisions.
+ */
+int satd4x4(const video::Frame& cur, int cx, int cy, const uint8_t* pred,
+            int pstride, uint64_t pred_sim);
+
+/**
+ * SATD over a w x h block (multiple of 4) against a prediction buffer.
+ */
+int satdBlock(const video::Frame& cur, int cx, int cy, const uint8_t* pred,
+              int pstride, int w, int h, uint64_t pred_sim);
+
+/**
+ * Motion-compensates a w x h luma block from `ref` into `dst`:
+ * quarter-pel bilinear interpolation with edge clamping. (mvx, mvy) are
+ * quarter-pel displacements of the block whose top-left is (cx, cy).
+ */
+void mcLumaBlock(uint8_t* dst, int dstride, const video::Frame& ref, int cx,
+                 int cy, int mvx, int mvy, int w, int h, uint64_t dst_sim);
+
+/**
+ * Motion-compensates a w x h chroma block (plane Cb or Cr); the motion
+ * vector is the luma vector (chroma is subsampled 2x, handled inside).
+ */
+void mcChromaBlock(uint8_t* dst, int dstride, const video::Frame& ref,
+                   video::Plane plane, int cx, int cy, int mvx, int mvy,
+                   int w, int h, uint64_t dst_sim);
+
+/** Averages two prediction buffers (bi-directional prediction). */
+void averageBlocks(uint8_t* dst, const uint8_t* a, const uint8_t* b, int n,
+                   uint64_t dst_sim);
+
+} // namespace vtrans::codec
+
+#endif // VTRANS_CODEC_PIXEL_H_

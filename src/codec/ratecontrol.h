@@ -1,0 +1,101 @@
+#ifndef VTRANS_CODEC_RATECONTROL_H_
+#define VTRANS_CODEC_RATECONTROL_H_
+
+/**
+ * @file
+ * Rate control (paper §II-B1): the six modes — CQP, CRF, ABR, two-pass
+ * ABR, CBR (macroblock-granular, the only mode applied below picture
+ * level), and VBV-constrained encoding — plus variance-based adaptive
+ * quantization (`aq-mode`).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "codec/params.h"
+
+namespace vtrans::codec {
+
+/** Per-frame statistics recorded by a first pass (two-pass ABR). */
+struct PassStats
+{
+    FrameType type = FrameType::P;
+    int qp = 0;
+    uint64_t bits = 0;
+    double complexity = 0.0;
+};
+
+/**
+ * Chooses frame- and macroblock-level QPs for one encode.
+ *
+ * Usage per frame: startFrame() -> (per MB: mbQp()) -> endFrame(). CBR
+ * additionally adapts within the frame through mbQp's feedback arguments;
+ * VBV tracks a leaky-bucket decoder buffer and raises QP under pressure.
+ */
+class RateController
+{
+  public:
+    /**
+     * @param params Encoder parameters (mode, targets, aq).
+     * @param fps Frames per second (buffer/bit budgeting).
+     * @param mb_count Macroblocks per frame.
+     * @param total_frames Frames in the sequence.
+     * @param pass1 First-pass stats for TwoPass mode (empty otherwise).
+     */
+    RateController(const EncoderParams& params, double fps, int mb_count,
+                   int total_frames, std::vector<PassStats> pass1 = {});
+
+    /**
+     * Begins a frame and returns its base QP.
+     * @param type Frame type (I/P/B offsets apply).
+     * @param complexity Lookahead complexity signal (inter cost proxy).
+     */
+    int startFrame(FrameType type, double complexity);
+
+    /**
+     * Returns the QP for a macroblock.
+     * @param mb_index Raster index of the MB in the frame.
+     * @param bits_so_far Bits produced so far in this frame.
+     * @param variance Luma variance of the MB (adaptive quantization).
+     */
+    int mbQp(int mb_index, uint64_t bits_so_far, double variance);
+
+    /** Completes a frame with its actual coded size. */
+    void endFrame(uint64_t bits);
+
+    /** The decoder-buffer fullness in bits (VBV/CBR modes). */
+    double bufferFullness() const { return buffer_fullness_; }
+
+    /** Number of frames whose coded size violated the VBV constraint. */
+    int vbvViolations() const { return vbv_violations_; }
+
+    /** Running average luma variance (AQ reference level). */
+    double averageVariance() const { return avg_variance_; }
+
+  private:
+    int clampQp(double qp) const;
+
+    EncoderParams params_;
+    double fps_;
+    int mb_count_;
+    int total_frames_;
+    std::vector<PassStats> pass1_;
+
+    int frame_index_ = 0;
+    int frame_qp_ = 23;
+    FrameType frame_type_ = FrameType::P;
+    uint64_t frame_bit_budget_ = 0;
+
+    double complexity_ema_ = 0.0;
+    uint64_t total_bits_ = 0;
+    double buffer_fullness_ = 0.0;
+    double buffer_size_ = 0.0;
+    double buffer_rate_ = 0.0;
+    int vbv_violations_ = 0;
+    double avg_variance_ = 256.0;
+    double pass1_cost_sum_ = 0.0;
+};
+
+} // namespace vtrans::codec
+
+#endif // VTRANS_CODEC_RATECONTROL_H_

@@ -1,0 +1,77 @@
+#ifndef VTRANS_CODEC_SYNTAX_H_
+#define VTRANS_CODEC_SYNTAX_H_
+
+/**
+ * @file
+ * The VX1 bitstream syntax shared by encoder and decoder.
+ *
+ * Sequence header:
+ *   u(32) magic "VX10" | ue(mb_w) ue(mb_h) ue(fps) ue(frame_count)
+ *   ue(deblock_flag) se(alpha_offset) se(beta_offset)
+ *
+ * Frame header (one per coded frame, in coded order):
+ *   ue(frame_type: 0=I 1=P 2=B) ue(display_index) ue(qp_base)
+ *   ue(num_ref_active)
+ *
+ * Macroblock (raster order):
+ *   I frames:  ue(imode: 0=Intra16 1=Intra4)
+ *   P frames:  ue(mode: 0=Skip 1=Inter16 2=Inter8x8 3=Intra16 4=Intra4)
+ *   B frames:  same mode alphabet; Inter modes are followed by
+ *              ue(dir: 0=fwd 1=bwd 2=bi)
+ *   Inter16 fwd: ue(ref) se(mvdx) se(mvdy)
+ *   Inter16 bwd: se(mvdx) se(mvdy)          (single backward reference)
+ *   Inter16 bi : ue(ref) se*2 (fwd) then se*2 (bwd)
+ *   Inter8x8   : 4 x [ue(ref) se(mvdx) se(mvdy)]   (P frames only)
+ *   Intra16    : ue(mode 0..3)
+ *   Intra4     : 16 x ue(mode 0..4)
+ *   Non-skip MBs then carry: se(qp_delta vs frame qp_base), ue(cbp 0..63)
+ *   For each set cbp bit (luma groups 0..3, then Cb=4, Cr=5), 4 blocks:
+ *     ue(nnz 0..16); nnz x [ue(run_before) se(level)] in zigzag order.
+ *
+ * Skip semantics: P-Skip reconstructs from the median MV predictor on
+ * ref 0; B-Skip is bi-directional "direct" prediction from both median
+ * predictors with no residual.
+ */
+
+#include <cstdint>
+
+namespace vtrans::codec {
+
+/** Stream magic number ("VX10"). */
+constexpr uint32_t kMagic = 0x56583130;
+
+/** Macroblock coding modes (P/B alphabet). */
+enum class MbMode : uint8_t {
+    Skip = 0,
+    Inter16 = 1,
+    Inter8x8 = 2,
+    Intra16 = 3,
+    Intra4 = 4,
+};
+
+/** Inter prediction direction in B frames. */
+enum class BDir : uint8_t { Fwd = 0, Bwd = 1, Bi = 2 };
+
+/** Luma 4x4 block index (0..15) -> 8x8 cbp group (0..3). */
+inline int
+lumaCbpGroup(int block4)
+{
+    const int bx = block4 & 3;
+    const int by = block4 >> 2;
+    return (by >> 1) * 2 + (bx >> 1);
+}
+
+/** Raster order of 4x4 luma blocks within an 8x8 cbp group. */
+inline int
+lumaBlockInGroup(int group, int idx)
+{
+    const int gx = (group & 1) * 2;
+    const int gy = (group >> 1) * 2;
+    const int bx = gx + (idx & 1);
+    const int by = gy + (idx >> 1);
+    return by * 4 + bx;
+}
+
+} // namespace vtrans::codec
+
+#endif // VTRANS_CODEC_SYNTAX_H_

@@ -1,0 +1,55 @@
+#ifndef VTRANS_CODEC_TABLES_H_
+#define VTRANS_CODEC_TABLES_H_
+
+/**
+ * @file
+ * Quantization and scan tables for the 4x4 integer transform, following
+ * the H.264 design x264 implements: the forward multiplier table MF and
+ * dequantization table V indexed by QP%6 and coefficient position class,
+ * with 2^(QP/6) scaling. Also QP-derived rate-distortion lambda.
+ */
+
+#include <cstdint>
+
+namespace vtrans::codec {
+
+/** Number of QP values (0..51, as in H.264/x264). */
+constexpr int kQpCount = 52;
+
+/** Quantization step size for a QP (doubles every 6 QP). */
+double qpToQstep(int qp);
+
+/** Inverse mapping: nearest QP for a quantization step. */
+int qstepToQp(double qstep);
+
+/**
+ * Rate-distortion lambda for SAD-based decisions at a QP, in fixed-point
+ * (returned value is lambda * 16, so costs combine as
+ * sad + (lambdaFp(qp) * bits >> 4)).
+ */
+int lambdaFp(int qp);
+
+/** Forward quant multiplier for (qp, zigzag position). Quantization is
+ *  level = (|coef| * mf + deadzone) >> (15 + qp/6). */
+int quantMf(int qp, int pos);
+
+/** Dequant multiplier for (qp, zigzag position). Reconstruction is
+ *  coef = level * v << (qp/6). */
+int dequantV(int qp, int pos);
+
+/** Shift used with quantMf for a QP. */
+inline int
+quantShift(int qp)
+{
+    return 15 + qp / 6;
+}
+
+/** Zigzag scan order of a 4x4 block (raster index per scan position). */
+extern const uint8_t kZigzag4x4[16];
+
+/** Inverse zigzag: scan position of a raster index. */
+extern const uint8_t kZigzag4x4Inv[16];
+
+} // namespace vtrans::codec
+
+#endif // VTRANS_CODEC_TABLES_H_

@@ -1,0 +1,75 @@
+#include "common/cli.h"
+
+#include <cstdlib>
+
+namespace vtrans {
+
+Cli::Cli(int argc, const char* const* argv)
+{
+    program_ = argc > 0 ? argv[0] : "";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(arg);
+            continue;
+        }
+        arg = arg.substr(2);
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            flags_.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+        } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0
+                   && (std::string(argv[i + 1]).empty()
+                       || std::string(argv[i + 1])[0] != '-')) {
+            // `--key value` form; consume the next token as the value.
+            flags_.emplace_back(arg, argv[++i]);
+        } else {
+            flags_.emplace_back(arg, "");
+        }
+    }
+}
+
+bool
+Cli::has(const std::string& name) const
+{
+    for (const auto& [k, v] : flags_) {
+        if (k == name) {
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+Cli::str(const std::string& name, const std::string& def) const
+{
+    for (const auto& [k, v] : flags_) {
+        if (k == name) {
+            return v;
+        }
+    }
+    return def;
+}
+
+int64_t
+Cli::num(const std::string& name, int64_t def) const
+{
+    for (const auto& [k, v] : flags_) {
+        if (k == name && !v.empty()) {
+            return std::strtoll(v.c_str(), nullptr, 10);
+        }
+    }
+    return def;
+}
+
+double
+Cli::real(const std::string& name, double def) const
+{
+    for (const auto& [k, v] : flags_) {
+        if (k == name && !v.empty()) {
+            return std::strtod(v.c_str(), nullptr);
+        }
+    }
+    return def;
+}
+
+} // namespace vtrans

@@ -1,0 +1,49 @@
+#ifndef VTRANS_COMMON_CLI_H_
+#define VTRANS_COMMON_CLI_H_
+
+/**
+ * @file
+ * A minimal command-line flag parser shared by the bench and example
+ * binaries. Supports `--flag`, `--key=value` and `--key value` forms.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vtrans {
+
+/** Parsed command-line flags with typed accessors and defaults. */
+class Cli
+{
+  public:
+    /** Parses argv; unknown positional arguments are kept in order. */
+    Cli(int argc, const char* const* argv);
+
+    /** True if `--name` was present (with or without a value). */
+    bool has(const std::string& name) const;
+
+    /** Returns the string value of `--name[=value]`, or `def`. */
+    std::string str(const std::string& name, const std::string& def) const;
+
+    /** Returns the integer value of `--name`, or `def`. */
+    int64_t num(const std::string& name, int64_t def) const;
+
+    /** Returns the floating value of `--name`, or `def`. */
+    double real(const std::string& name, double def) const;
+
+    /** Positional (non-flag) arguments. */
+    const std::vector<std::string>& positional() const { return positional_; }
+
+    /** The binary name (argv[0]). */
+    const std::string& program() const { return program_; }
+
+  private:
+    std::string program_;
+    std::vector<std::pair<std::string, std::string>> flags_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace vtrans
+
+#endif // VTRANS_COMMON_CLI_H_

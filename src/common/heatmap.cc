@@ -1,0 +1,125 @@
+#include "common/heatmap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/status.h"
+#include "common/table.h"
+
+namespace vtrans {
+
+namespace {
+// Light-to-dark shade ramp; index 0 is the minimum bucket.
+const char kRamp[] = {' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'};
+constexpr int kRampSize = sizeof(kRamp);
+} // namespace
+
+Heatmap::Heatmap(std::string title, std::vector<std::string> row_labels,
+                 std::vector<std::string> col_labels)
+    : title_(std::move(title)),
+      row_labels_(std::move(row_labels)),
+      col_labels_(std::move(col_labels)),
+      values_(row_labels_.size() * col_labels_.size(), 0.0)
+{
+    VT_ASSERT(!row_labels_.empty() && !col_labels_.empty(),
+              "heatmap needs non-empty axes");
+}
+
+void
+Heatmap::set(size_t row, size_t col, double value)
+{
+    VT_ASSERT(row < rows() && col < cols(), "heatmap index out of range");
+    values_[row * cols() + col] = value;
+}
+
+double
+Heatmap::at(size_t row, size_t col) const
+{
+    VT_ASSERT(row < rows() && col < cols(), "heatmap index out of range");
+    return values_[row * cols() + col];
+}
+
+double
+Heatmap::minValue() const
+{
+    return *std::min_element(values_.begin(), values_.end());
+}
+
+double
+Heatmap::maxValue() const
+{
+    return *std::max_element(values_.begin(), values_.end());
+}
+
+std::string
+Heatmap::render() const
+{
+    const double lo = minValue();
+    const double hi = maxValue();
+    const double span = (hi - lo) > 1e-12 ? (hi - lo) : 1.0;
+
+    size_t label_w = 0;
+    for (const auto& l : row_labels_) {
+        label_w = std::max(label_w, l.size());
+    }
+
+    std::ostringstream os;
+    os << title_ << "  [min=" << formatDouble(lo, 3)
+       << " max=" << formatDouble(hi, 3) << "]\n";
+
+    // Column header (first character of each label, plus full legend).
+    os << std::string(label_w + 1, ' ');
+    for (const auto& c : col_labels_) {
+        os << (c.empty() ? ' ' : c.back());
+    }
+    os << "\n";
+
+    for (size_t r = 0; r < rows(); ++r) {
+        os << row_labels_[r]
+           << std::string(label_w - row_labels_[r].size() + 1, ' ');
+        for (size_t c = 0; c < cols(); ++c) {
+            const double norm = (at(r, c) - lo) / span;
+            int bucket = static_cast<int>(norm * (kRampSize - 1) + 0.5);
+            bucket = std::clamp(bucket, 0, kRampSize - 1);
+            os << kRamp[bucket];
+        }
+        os << '\n';
+    }
+
+    os << "ramp: ";
+    for (int i = 0; i < kRampSize; ++i) {
+        os << '\'' << kRamp[i] << '\'';
+        if (i + 1 < kRampSize) {
+            os << ' ';
+        }
+    }
+    os << "  (low -> high)\n";
+    os << "cols: ";
+    for (size_t c = 0; c < cols(); ++c) {
+        os << col_labels_[c] << (c + 1 < cols() ? " " : "");
+    }
+    os << '\n';
+    return os.str();
+}
+
+std::string
+Heatmap::toCsv() const
+{
+    std::ostringstream os;
+    os << title_;
+    for (const auto& c : col_labels_) {
+        os << ',' << c;
+    }
+    os << '\n';
+    for (size_t r = 0; r < rows(); ++r) {
+        os << row_labels_[r];
+        for (size_t c = 0; c < cols(); ++c) {
+            os << ',' << formatDouble(at(r, c), 6);
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+} // namespace vtrans

@@ -1,0 +1,60 @@
+#ifndef VTRANS_COMMON_HEATMAP_H_
+#define VTRANS_COMMON_HEATMAP_H_
+
+/**
+ * @file
+ * ASCII heatmap rendering for the crf x refs grids of Figures 3 and 5.
+ * Each cell's value is bucketed into a ramp of shade characters so the
+ * gradient direction is visible directly in a terminal.
+ */
+
+#include <string>
+#include <vector>
+
+namespace vtrans {
+
+/**
+ * A dense 2-D grid of doubles with labelled axes, renderable as an ASCII
+ * shade map plus a numeric legend.
+ */
+class Heatmap
+{
+  public:
+    /**
+     * Creates a rows x cols heatmap.
+     * @param title Figure caption printed above the map.
+     * @param row_labels One label per row (e.g. crf values).
+     * @param col_labels One label per column (e.g. refs values).
+     */
+    Heatmap(std::string title, std::vector<std::string> row_labels,
+            std::vector<std::string> col_labels);
+
+    /** Sets the value of one cell. */
+    void set(size_t row, size_t col, double value);
+    /** Reads a cell value. */
+    double at(size_t row, size_t col) const;
+
+    size_t rows() const { return row_labels_.size(); }
+    size_t cols() const { return col_labels_.size(); }
+
+    /** Minimum over all cells. */
+    double minValue() const;
+    /** Maximum over all cells. */
+    double maxValue() const;
+
+    /** Renders the shade map with axis labels and a legend. */
+    std::string render() const;
+
+    /** Renders the raw values as CSV (rows x cols, with labels). */
+    std::string toCsv() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> row_labels_;
+    std::vector<std::string> col_labels_;
+    std::vector<double> values_;
+};
+
+} // namespace vtrans
+
+#endif // VTRANS_COMMON_HEATMAP_H_

@@ -1,0 +1,117 @@
+#ifndef VTRANS_COMMON_RNG_H_
+#define VTRANS_COMMON_RNG_H_
+
+/**
+ * @file
+ * Deterministic pseudo-random number generation. All stochastic behaviour
+ * in vtrans (synthetic video content, random scheduling baselines) flows
+ * through Rng so that every experiment is exactly reproducible from a seed.
+ */
+
+#include <cmath>
+#include <cstdint>
+
+namespace vtrans {
+
+/**
+ * A small, fast, deterministic PRNG (splitmix64-seeded xorshift128+).
+ *
+ * Not cryptographically secure; statistical quality is more than adequate
+ * for workload synthesis. Copyable; copies continue independent streams.
+ */
+class Rng
+{
+  public:
+    /** Constructs a generator from a 64-bit seed. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+    /** Re-initializes the state from a seed via splitmix64. */
+    void
+    reseed(uint64_t seed)
+    {
+        s0_ = splitmix(seed);
+        s1_ = splitmix(seed);
+        if (s0_ == 0 && s1_ == 0) {
+            s1_ = 1;
+        }
+    }
+
+    /** Returns the next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t x = s0_;
+        const uint64_t y = s1_;
+        s0_ = y;
+        x ^= x << 23;
+        s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return s1_ + y;
+    }
+
+    /** Returns a uniform integer in [0, bound). bound must be > 0. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        // Multiply-shift reduction; bias is negligible for our bounds.
+        return static_cast<uint64_t>(
+            (static_cast<__uint128_t>(next()) * bound) >> 64);
+    }
+
+    /** Returns a uniform integer in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(
+                        below(static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Returns a uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Returns true with the given probability. */
+    bool chance(double p) { return uniform() < p; }
+
+    /** Returns a sample from a standard normal (Box-Muller). */
+    double
+    gaussian()
+    {
+        if (have_spare_) {
+            have_spare_ = false;
+            return spare_;
+        }
+        double u1 = 0.0;
+        while (u1 <= 1e-12) {
+            u1 = uniform();
+        }
+        const double u2 = uniform();
+        const double r = std::sqrt(-2.0 * std::log(u1));
+        const double theta = 2.0 * M_PI * u2;
+        spare_ = r * std::sin(theta);
+        have_spare_ = true;
+        return r * std::cos(theta);
+    }
+
+  private:
+    static uint64_t
+    splitmix(uint64_t& x)
+    {
+        x += 0x9e3779b97f4a7c15ull;
+        uint64_t z = x;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    uint64_t s0_ = 0;
+    uint64_t s1_ = 0;
+    double spare_ = 0.0;
+    bool have_spare_ = false;
+};
+
+} // namespace vtrans
+
+#endif // VTRANS_COMMON_RNG_H_

@@ -1,0 +1,73 @@
+#include "common/stats.h"
+
+#include "common/table.h"
+
+namespace vtrans {
+
+void
+StatSet::add(const std::string& name, double delta)
+{
+    for (auto& [n, v] : entries_) {
+        if (n == name) {
+            v += delta;
+            return;
+        }
+    }
+    entries_.emplace_back(name, delta);
+}
+
+void
+StatSet::set(const std::string& name, double value)
+{
+    for (auto& [n, v] : entries_) {
+        if (n == name) {
+            v = value;
+            return;
+        }
+    }
+    entries_.emplace_back(name, value);
+}
+
+double
+StatSet::get(const std::string& name) const
+{
+    for (const auto& [n, v] : entries_) {
+        if (n == name) {
+            return v;
+        }
+    }
+    return 0.0;
+}
+
+bool
+StatSet::has(const std::string& name) const
+{
+    for (const auto& [n, v] : entries_) {
+        if (n == name) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+StatSet::merge(const StatSet& other)
+{
+    for (const auto& [n, v] : other.entries_) {
+        add(n, v);
+    }
+}
+
+std::string
+StatSet::toText() const
+{
+    Table t({"stat", "value"});
+    for (const auto& [n, v] : entries_) {
+        t.beginRow();
+        t.cell(n);
+        t.cell(v, 4);
+    }
+    return t.toText();
+}
+
+} // namespace vtrans

@@ -1,0 +1,57 @@
+#ifndef VTRANS_COMMON_STATS_H_
+#define VTRANS_COMMON_STATS_H_
+
+/**
+ * @file
+ * Lightweight named statistics used throughout the simulator: ordered
+ * name -> double pairs with merge and pretty-print support.
+ */
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vtrans {
+
+/**
+ * An insertion-ordered collection of named scalar statistics.
+ *
+ * Deliberately simpler than gem5's stats package: counters are plain
+ * doubles, lookup is linear (counts are small), and rendering goes through
+ * Table. Suitable for per-run summaries, not per-cycle hot paths.
+ */
+class StatSet
+{
+  public:
+    /** Adds `delta` to the named stat, creating it at zero if absent. */
+    void add(const std::string& name, double delta);
+
+    /** Sets the named stat, creating it if absent. */
+    void set(const std::string& name, double value);
+
+    /** Returns the named stat's value, or 0.0 if absent. */
+    double get(const std::string& name) const;
+
+    /** True if the stat exists. */
+    bool has(const std::string& name) const;
+
+    /** Accumulates every stat from `other` into this set. */
+    void merge(const StatSet& other);
+
+    /** All stats in insertion order. */
+    const std::vector<std::pair<std::string, double>>& entries() const
+    {
+        return entries_;
+    }
+
+    /** Renders a two-column name/value text table. */
+    std::string toText() const;
+
+  private:
+    std::vector<std::pair<std::string, double>> entries_;
+};
+
+} // namespace vtrans
+
+#endif // VTRANS_COMMON_STATS_H_

@@ -1,0 +1,76 @@
+#ifndef VTRANS_COMMON_STATUS_H_
+#define VTRANS_COMMON_STATUS_H_
+
+/**
+ * @file
+ * Error-reporting and status-message helpers, in the spirit of gem5's
+ * logging conventions: panic() for internal invariant violations (a bug in
+ * vtrans itself), fatal() for unrecoverable user errors (bad configuration,
+ * invalid arguments), and warn()/inform() for non-fatal status messages.
+ */
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace vtrans {
+
+namespace detail {
+
+/** Formats and emits a message with a severity prefix, then aborts/exits. */
+[[noreturn]] void panicImpl(const char* file, int line, const std::string& msg);
+[[noreturn]] void fatalImpl(const char* file, int line, const std::string& msg);
+void warnImpl(const std::string& msg);
+void informImpl(const std::string& msg);
+
+/** Concatenates a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args&&... args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Toggles whether inform() messages are printed (default: on). */
+void setVerbose(bool verbose);
+bool verbose();
+
+} // namespace vtrans
+
+/**
+ * Reports an internal invariant violation (a vtrans bug) and aborts.
+ * Use for conditions that should never happen regardless of user input.
+ */
+#define VT_PANIC(...) \
+    ::vtrans::detail::panicImpl(__FILE__, __LINE__, \
+                                ::vtrans::detail::concat(__VA_ARGS__))
+
+/**
+ * Reports an unrecoverable user error (bad configuration or arguments) and
+ * exits with status 1.
+ */
+#define VT_FATAL(...) \
+    ::vtrans::detail::fatalImpl(__FILE__, __LINE__, \
+                                ::vtrans::detail::concat(__VA_ARGS__))
+
+/** Emits a non-fatal warning to stderr. */
+#define VT_WARN(...) \
+    ::vtrans::detail::warnImpl(::vtrans::detail::concat(__VA_ARGS__))
+
+/** Emits an informational status message to stderr (if verbose). */
+#define VT_INFORM(...) \
+    ::vtrans::detail::informImpl(::vtrans::detail::concat(__VA_ARGS__))
+
+/** Panics with a message if the given invariant does not hold. */
+#define VT_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            VT_PANIC("assertion failed: " #cond " ", ##__VA_ARGS__); \
+        } \
+    } while (0)
+
+#endif // VTRANS_COMMON_STATUS_H_

@@ -1,0 +1,139 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/status.h"
+
+namespace vtrans {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+    VT_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::beginRow()
+{
+    rows_.emplace_back();
+}
+
+void
+Table::cell(const std::string& value)
+{
+    VT_ASSERT(!rows_.empty(), "beginRow() before cell()");
+    VT_ASSERT(rows_.back().size() < headers_.size(),
+              "row wider than header (", headers_.size(), " columns)");
+    rows_.back().push_back(value);
+}
+
+void
+Table::cell(int64_t value)
+{
+    cell(std::to_string(value));
+}
+
+void
+Table::cell(uint64_t value)
+{
+    cell(std::to_string(value));
+}
+
+void
+Table::cell(double value, int precision)
+{
+    cell(formatDouble(value, precision));
+}
+
+std::string
+Table::toText() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        for (size_t c = 0; c < headers_.size(); ++c) {
+            const std::string& v = c < row.size() ? row[c] : std::string();
+            os << (c == 0 ? "" : "  ");
+            os << v;
+            os << std::string(widths[c] - v.size(), ' ');
+        }
+        os << '\n';
+    };
+
+    emit_row(headers_);
+    size_t total = headers_.size() - 1;
+    for (size_t w : widths) {
+        total += w + 1;
+    }
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) {
+        emit_row(row);
+    }
+    return os.str();
+}
+
+std::string
+Table::toCsv() const
+{
+    auto escape = [](const std::string& v) {
+        if (v.find_first_of(",\"\n") == std::string::npos) {
+            return v;
+        }
+        std::string out = "\"";
+        for (char ch : v) {
+            if (ch == '"') {
+                out += '"';
+            }
+            out += ch;
+        }
+        out += '"';
+        return out;
+    };
+
+    std::ostringstream os;
+    for (size_t c = 0; c < headers_.size(); ++c) {
+        os << (c == 0 ? "" : ",") << escape(headers_[c]);
+    }
+    os << '\n';
+    for (const auto& row : rows_) {
+        for (size_t c = 0; c < headers_.size(); ++c) {
+            os << (c == 0 ? "" : ",")
+               << (c < row.size() ? escape(row[c]) : std::string());
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+void
+Table::print(std::ostream& os) const
+{
+    os << toText();
+}
+
+std::string
+formatDouble(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+formatPercent(double fraction, int precision)
+{
+    return formatDouble(fraction * 100.0, precision) + "%";
+}
+
+} // namespace vtrans

@@ -1,0 +1,65 @@
+#ifndef VTRANS_COMMON_TABLE_H_
+#define VTRANS_COMMON_TABLE_H_
+
+/**
+ * @file
+ * Column-aligned text tables and CSV emission, used by every bench binary
+ * to print the rows/series of the paper's tables and figures.
+ */
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vtrans {
+
+/**
+ * A simple row/column table that renders either as aligned text or CSV.
+ *
+ * Cells are strings; numeric helpers format with a fixed precision. Rows
+ * must not exceed the header width (shorter rows are padded with blanks).
+ */
+class Table
+{
+  public:
+    /** Creates a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Starts a new, empty row. */
+    void beginRow();
+
+    /** Appends a string cell to the current row. */
+    void cell(const std::string& value);
+    /** Appends an integer cell to the current row. */
+    void cell(int64_t value);
+    /** Appends an unsigned integer cell to the current row. */
+    void cell(uint64_t value);
+    /** Appends a floating-point cell with the given decimal places. */
+    void cell(double value, int precision = 3);
+
+    /** Number of data rows so far. */
+    size_t rows() const { return rows_.size(); }
+
+    /** Renders as a column-aligned text table. */
+    std::string toText() const;
+    /** Renders as CSV (header row first). */
+    std::string toCsv() const;
+
+    /** Writes the text rendering to the stream. */
+    void print(std::ostream& os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Formats a double with fixed precision (no trailing garbage). */
+std::string formatDouble(double value, int precision);
+
+/** Formats a fraction as a percentage string, e.g. 0.123 -> "12.3%". */
+std::string formatPercent(double fraction, int precision = 1);
+
+} // namespace vtrans
+
+#endif // VTRANS_COMMON_TABLE_H_

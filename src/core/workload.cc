@@ -1,0 +1,67 @@
+#include "core/workload.h"
+
+#include <map>
+
+#include "codec/transcode.h"
+#include "common/status.h"
+#include "trace/probe.h"
+#include "video/vbench.h"
+
+namespace vtrans::core {
+
+const std::vector<uint8_t>&
+mezzanine(const std::string& video, double seconds)
+{
+    static std::map<std::pair<std::string, int>, std::vector<uint8_t>>
+        cache;
+    const int centi = static_cast<int>(seconds * 100.0 + 0.5);
+    const auto key = std::make_pair(video, centi);
+    auto it = cache.find(key);
+    if (it != cache.end()) {
+        return it->second;
+    }
+
+    video::VideoSpec spec = video::findVideo(video);
+    if (seconds > 0.0) {
+        spec.seconds = seconds;
+    }
+    VT_INFORM("building mezzanine for ", video, " (", spec.seconds, "s, ",
+              spec.width, "x", spec.height, ")");
+    auto stream = codec::makeSourceStream(spec);
+    return cache.emplace(key, std::move(stream)).first->second;
+}
+
+RunResult
+runInstrumented(const RunConfig& config)
+{
+    const auto& source = mezzanine(config.video, config.seconds);
+
+    // Deterministic data addresses for this run, whatever ran before.
+    trace::arena().reset();
+
+    uarch::CoreModel model(config.core);
+    trace::setSink(&model);
+    codec::TranscodeResult transcoded =
+        codec::transcode(source, config.params);
+    trace::setSink(nullptr);
+
+    RunResult result;
+    result.core = model.finish();
+    result.encode = transcoded.stats;
+    result.transcode_seconds = result.core.seconds();
+    result.psnr = transcoded.psnr();
+    result.bitrate_kbps = transcoded.bitrateKbps();
+    return result;
+}
+
+codec::EncodeStats
+runNative(const RunConfig& config)
+{
+    const auto& source = mezzanine(config.video, config.seconds);
+    trace::arena().reset();
+    codec::TranscodeResult transcoded =
+        codec::transcode(source, config.params);
+    return transcoded.stats;
+}
+
+} // namespace vtrans::core

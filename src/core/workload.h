@@ -1,0 +1,65 @@
+#ifndef VTRANS_CORE_WORKLOAD_H_
+#define VTRANS_CORE_WORKLOAD_H_
+
+/**
+ * @file
+ * The measured unit of every experiment: one instrumented transcode —
+ * decode a mezzanine stream, re-encode with the parameters under study —
+ * simulated on a chosen core configuration. Mirrors the paper's
+ * methodology of profiling `ffmpeg -i in.mkv ... out.mkv` runs under
+ * VTune/perf or Sniper.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "codec/encoder.h"
+#include "codec/params.h"
+#include "uarch/core.h"
+
+namespace vtrans::core {
+
+/** What to run and where to run it. */
+struct RunConfig
+{
+    std::string video = "bbb";   ///< vbench short name (or "bbb").
+    double seconds = 0.0;        ///< Clip length; 0 = full 5 s clip.
+    codec::EncoderParams params; ///< Transcode parameters under study.
+    uarch::CoreParams core;      ///< Simulated machine.
+};
+
+/** Everything measured from one run. */
+struct RunResult
+{
+    uarch::CoreStats core;       ///< Counters + Top-down + derived rates.
+    codec::EncodeStats encode;   ///< Bits, PSNR, frame/MB statistics.
+    double transcode_seconds = 0.0; ///< Simulated wall time of the run.
+    double psnr = 0.0;           ///< Transcoded quality (dB).
+    double bitrate_kbps = 0.0;   ///< Transcoded size rate.
+};
+
+/**
+ * Returns the cached mezzanine stream for a video at a clip length
+ * (generated and high-quality encoded on first use; pure bytes, safe to
+ * cache across arena resets).
+ */
+const std::vector<uint8_t>& mezzanine(const std::string& video,
+                                      double seconds);
+
+/**
+ * Runs one instrumented transcode under the configured core model.
+ * Resets the simulated heap first so results are exactly reproducible
+ * regardless of what ran before.
+ */
+RunResult runInstrumented(const RunConfig& config);
+
+/**
+ * Runs the same transcode natively (no simulation) and returns only the
+ * encode statistics — used where microarchitectural data is not needed.
+ */
+codec::EncodeStats runNative(const RunConfig& config);
+
+} // namespace vtrans::core
+
+#endif // VTRANS_CORE_WORKLOAD_H_

@@ -1,0 +1,102 @@
+#include "layout/profile.h"
+
+#include <tuple>
+
+#include "common/status.h"
+
+namespace vtrans::layout {
+
+namespace {
+// Open-addressed edge table; plenty for a few hundred sites.
+constexpr size_t kEdgeSlots = 1 << 16;
+constexpr size_t kEdgeMask = kEdgeSlots - 1;
+
+inline size_t
+hashKey(uint64_t key)
+{
+    key *= 0x9e3779b97f4a7c15ull;
+    return static_cast<size_t>(key >> 40) & kEdgeMask;
+}
+} // namespace
+
+ProfileCollector::ProfileCollector() : edge_slots_(kEdgeSlots, {0, 0}) {}
+
+void
+ProfileCollector::ensureSize(uint32_t id)
+{
+    if (id >= sites_.size()) {
+        sites_.resize(id + 1);
+    }
+}
+
+void
+ProfileCollector::onBlock(const trace::CodeSite& site)
+{
+    ensureSize(site.id);
+    ++sites_[site.id].executions;
+    ++total_;
+
+    if (last_site_ != UINT32_MAX && last_site_ != site.id) {
+        const uint64_t key =
+            ((static_cast<uint64_t>(last_site_) << 32) | site.id) + 1;
+        size_t slot = hashKey(key);
+        while (true) {
+            auto& [k, v] = edge_slots_[slot];
+            if (k == key) {
+                ++v;
+                break;
+            }
+            if (k == 0) {
+                k = key;
+                v = 1;
+                break;
+            }
+            slot = (slot + 1) & kEdgeMask;
+        }
+    }
+    last_site_ = site.id;
+}
+
+void
+ProfileCollector::onBranch(const trace::CodeSite& site, bool taken)
+{
+    ensureSize(site.id);
+    if (taken) {
+        ++sites_[site.id].taken;
+    } else {
+        ++sites_[site.id].not_taken;
+    }
+}
+
+uint64_t
+ProfileCollector::edgeCount(uint32_t a, uint32_t b) const
+{
+    const uint64_t key = ((static_cast<uint64_t>(a) << 32) | b) + 1;
+    size_t slot = hashKey(key);
+    while (true) {
+        const auto& [k, v] = edge_slots_[slot];
+        if (k == key) {
+            return v;
+        }
+        if (k == 0) {
+            return 0;
+        }
+        slot = (slot + 1) & kEdgeMask;
+    }
+}
+
+std::vector<std::tuple<uint32_t, uint32_t, uint64_t>>
+ProfileCollector::edges() const
+{
+    std::vector<std::tuple<uint32_t, uint32_t, uint64_t>> out;
+    for (const auto& [k, v] : edge_slots_) {
+        if (k != 0) {
+            const uint64_t key = k - 1;
+            out.emplace_back(static_cast<uint32_t>(key >> 32),
+                             static_cast<uint32_t>(key & 0xffffffff), v);
+        }
+    }
+    return out;
+}
+
+} // namespace vtrans::layout

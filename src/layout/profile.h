@@ -1,0 +1,67 @@
+#ifndef VTRANS_LAYOUT_PROFILE_H_
+#define VTRANS_LAYOUT_PROFILE_H_
+
+/**
+ * @file
+ * Execution profiling for feedback-directed code layout — the stand-in for
+ * AutoFDO's perf-sample collection (paper §III-B3): per-block execution
+ * counts, per-branch direction counts, and dynamic block-successor edge
+ * counts (the call/fallthrough affinity graph Pettis-Hansen chaining
+ * needs).
+ */
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "trace/probe.h"
+
+namespace vtrans::layout {
+
+/** Profile counters for one code site. */
+struct SiteProfile
+{
+    uint64_t executions = 0;
+    uint64_t taken = 0;      ///< Branch sites: times the branch was taken.
+    uint64_t not_taken = 0;
+};
+
+/**
+ * A ProbeSink that records the execution profile of a workload run.
+ * Attach with trace::setSink, run the training workload, detach.
+ */
+class ProfileCollector : public trace::ProbeSink
+{
+  public:
+    ProfileCollector();
+
+    void onBlock(const trace::CodeSite& site) override;
+    void onBranch(const trace::CodeSite& site, bool taken) override;
+    void onLoad(uint64_t, uint32_t) override {}
+    void onStore(uint64_t, uint32_t) override {}
+
+    /** Per-site counters (indexed by site id; grows as sites register). */
+    const std::vector<SiteProfile>& sites() const { return sites_; }
+
+    /** Dynamic successor-edge count from site `a` to site `b`. */
+    uint64_t edgeCount(uint32_t a, uint32_t b) const;
+
+    /** All edges with non-zero counts as (from, to, count). */
+    std::vector<std::tuple<uint32_t, uint32_t, uint64_t>> edges() const;
+
+    /** Total block events observed. */
+    uint64_t totalExecutions() const { return total_; }
+
+  private:
+    void ensureSize(uint32_t id);
+
+    std::vector<SiteProfile> sites_;
+    // Successor counts as a flat hash: key = (from << 32) | to.
+    std::vector<std::pair<uint64_t, uint64_t>> edge_slots_;
+    uint32_t last_site_ = UINT32_MAX;
+    uint64_t total_ = 0;
+};
+
+} // namespace vtrans::layout
+
+#endif // VTRANS_LAYOUT_PROFILE_H_

@@ -1,0 +1,353 @@
+#include "loopopt/nest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/status.h"
+
+namespace vtrans::loopopt {
+
+namespace {
+
+/**
+ * Enumerates every distance vector k with sum(coeff[d] * k[d]) == delta
+ * and |k[d]| < extent[d] — i.e. every way two same-coefficient accesses
+ * can touch the same element. Exact: candidates per level are bounded by
+ * the reach of the finer levels. Returns false (inconclusive) if the
+ * solution count exceeds the cap.
+ */
+bool
+enumerateDistances(int64_t delta, const std::vector<int64_t>& coeffs,
+                   const std::vector<int64_t>& extents,
+                   std::vector<std::vector<int64_t>>* out)
+{
+    constexpr size_t kMaxSolutions = 64;
+    const size_t n = coeffs.size();
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return std::llabs(coeffs[a]) > std::llabs(coeffs[b]);
+    });
+
+    // reach[i]: max |sum over order[i..]| the finer levels can absorb.
+    std::vector<int64_t> reach(n + 1, 0);
+    for (size_t i = n; i-- > 0;) {
+        reach[i] = reach[i + 1]
+                   + std::llabs(coeffs[order[i]]) * (extents[order[i]] - 1);
+    }
+
+    std::vector<int64_t> k(n, 0);
+    bool ok = true;
+    auto recurse = [&](auto&& self, size_t i, int64_t rem) -> void {
+        if (!ok) {
+            return;
+        }
+        if (i == n) {
+            if (rem == 0) {
+                if (out->size() >= kMaxSolutions) {
+                    ok = false;
+                    return;
+                }
+                out->push_back(k);
+            }
+            return;
+        }
+        const size_t d = order[i];
+        const int64_t c = coeffs[d];
+        if (c == 0) {
+            if (std::llabs(rem) <= reach[i + 1]) {
+                self(self, i + 1, rem);
+            }
+            return;
+        }
+        // k_d must satisfy |rem - c*k_d| <= reach[i+1]: an interval.
+        const double center = static_cast<double>(rem) / c;
+        const double radius =
+            static_cast<double>(reach[i + 1]) / std::llabs(c);
+        const int64_t lo = std::max<int64_t>(
+            -(extents[d] - 1),
+            static_cast<int64_t>(std::floor(center - radius)));
+        const int64_t hi = std::min<int64_t>(
+            extents[d] - 1,
+            static_cast<int64_t>(std::ceil(center + radius)));
+        for (int64_t cand = lo; cand <= hi; ++cand) {
+            if (std::llabs(rem - c * cand) <= reach[i + 1]) {
+                k[d] = cand;
+                self(self, i + 1, rem - c * cand);
+                k[d] = 0;
+            }
+        }
+    };
+    recurse(recurse, 0, delta);
+    return ok;
+}
+
+} // namespace
+
+LoopNest::LoopNest(std::string name, std::vector<int64_t> extents)
+    : name_(std::move(name)), extents_(std::move(extents))
+{
+    VT_ASSERT(!extents_.empty(), "loop nest needs at least one level");
+    for (size_t d = 0; d < extents_.size(); ++d) {
+        VT_ASSERT(extents_[d] > 0, "loop extent must be positive");
+        schedule_.push_back({extents_[d], static_cast<int>(d), 0});
+    }
+}
+
+void
+LoopNest::addStatement(Statement statement)
+{
+    for (const auto& a : statement.accesses) {
+        VT_ASSERT(a.index.coeffs.size() == extents_.size(),
+                  "access coefficients must match nest depth: ",
+                  statement.name);
+    }
+    statements_.push_back(std::move(statement));
+}
+
+uint64_t
+LoopNest::iterations() const
+{
+    uint64_t total = 1;
+    for (int64_t e : extents_) {
+        total *= static_cast<uint64_t>(e);
+    }
+    return total;
+}
+
+std::vector<Dependence>
+LoopNest::dependences() const
+{
+    std::vector<Dependence> out;
+    const size_t depth_n = extents_.size();
+
+    std::vector<const Access*> all;
+    for (const auto& st : statements_) {
+        for (const auto& a : st.accesses) {
+            all.push_back(&a);
+        }
+    }
+
+    for (size_t i = 0; i < all.size(); ++i) {
+        for (size_t j = 0; j < all.size(); ++j) {
+            const Access& a = *all[i];
+            const Access& b = *all[j];
+            if (a.array != b.array || (!a.is_write && !b.is_write)) {
+                continue;
+            }
+            if (a.index.coeffs == b.index.coeffs) {
+                std::vector<std::vector<int64_t>> distances;
+                if (enumerateDistances(
+                        a.index.constant - b.index.constant,
+                        a.index.coeffs, extents_, &distances)) {
+                    for (const auto& k : distances) {
+                        bool first_nonzero_negative = false;
+                        bool any_nonzero = false;
+                        Dependence dep;
+                        dep.array = a.array;
+                        dep.directions.resize(depth_n);
+                        for (size_t d = 0; d < depth_n; ++d) {
+                            if (k[d] != 0 && !any_nonzero) {
+                                any_nonzero = true;
+                                first_nonzero_negative = k[d] < 0;
+                            }
+                            dep.directions[d] =
+                                k[d] == 0 ? Direction::Eq
+                                : k[d] > 0 ? Direction::Lt
+                                           : Direction::Gt;
+                        }
+                        if (any_nonzero && first_nonzero_negative) {
+                            // The lexicographically-positive twin comes
+                            // from the (j, i) pair.
+                            continue;
+                        }
+                        if (!any_nonzero && i >= j) {
+                            continue; // loop-independent: record once
+                        }
+                        out.push_back(std::move(dep));
+                    }
+                    continue;
+                }
+                // Enumeration overflowed: fall through to conservative.
+            }
+            Dependence dep;
+            dep.array = a.array;
+            dep.directions.assign(depth_n, Direction::Unknown);
+            out.push_back(std::move(dep));
+        }
+    }
+    return out;
+}
+
+bool
+LoopNest::canInterchange(int a, int b) const
+{
+    VT_ASSERT(a >= 0 && b >= 0 && a < depth() && b < depth(),
+              "interchange levels out of range");
+    // Interchange permutes the *source* levels a and b. Legal iff every
+    // dependence's direction vector stays lexicographically non-negative.
+    for (const auto& dep : dependences()) {
+        std::vector<Direction> dirs = dep.directions;
+        std::swap(dirs[a], dirs[b]);
+        for (Direction dir : dirs) {
+            if (dir == Direction::Unknown) {
+                return false;
+            }
+            if (dir == Direction::Lt) {
+                break; // carried at an outer level: fine
+            }
+            if (dir == Direction::Gt) {
+                return false; // backwards dependence after the swap
+            }
+        }
+    }
+    return true;
+}
+
+void
+LoopNest::interchange(int a, int b)
+{
+    if (!canInterchange(a, b)) {
+        VT_FATAL("illegal interchange of levels ", a, " and ", b, " in ",
+                 name_);
+    }
+    // Swap the schedule positions driving sources a and b.
+    int pos_a = -1;
+    int pos_b = -1;
+    for (size_t i = 0; i < schedule_.size(); ++i) {
+        if (schedule_[i].tile_size == 0) {
+            if (schedule_[i].source_level == a) {
+                pos_a = static_cast<int>(i);
+            }
+            if (schedule_[i].source_level == b) {
+                pos_b = static_cast<int>(i);
+            }
+        }
+    }
+    VT_ASSERT(pos_a >= 0 && pos_b >= 0, "schedule lost a point loop");
+    std::swap(schedule_[pos_a], schedule_[pos_b]);
+}
+
+bool
+LoopNest::canTile() const
+{
+    for (const auto& dep : dependences()) {
+        for (Direction dir : dep.directions) {
+            if (dir == Direction::Unknown || dir == Direction::Gt) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+void
+LoopNest::tile(int level, int64_t tile_size)
+{
+    VT_ASSERT(level >= 0 && level < depth(), "tile level out of range");
+    VT_ASSERT(tile_size > 0, "tile size must be positive");
+    if (!canTile()) {
+        VT_FATAL("nest ", name_, " is not fully permutable: tiling illegal");
+    }
+    // Shrink the point loop to the tile size...
+    for (auto& l : schedule_) {
+        if (l.tile_size == 0 && l.source_level == level) {
+            l.extent = std::min<int64_t>(tile_size, extents_[level]);
+        }
+    }
+    // ...and hoist a tile loop to the outermost position.
+    const int64_t tiles =
+        (extents_[level] + tile_size - 1) / tile_size;
+    schedule_.insert(schedule_.begin(), {tiles, level, tile_size});
+}
+
+std::vector<LoopNest>
+LoopNest::distribute() const
+{
+    // Legal when every cross-statement dependence is loop-independent
+    // (all-Eq): splitting then preserves the per-iteration order.
+    for (const auto& dep : dependences()) {
+        for (Direction dir : dep.directions) {
+            if (dir == Direction::Unknown || dir == Direction::Gt
+                || dir == Direction::Lt) {
+                VT_FATAL("nest ", name_,
+                         " has loop-carried dependences: distribution "
+                         "illegal");
+            }
+        }
+    }
+    std::vector<LoopNest> out;
+    for (const auto& st : statements_) {
+        LoopNest nest(name_ + "." + st.name, extents_);
+        nest.addStatement(st);
+        out.push_back(std::move(nest));
+    }
+    return out;
+}
+
+void
+LoopNest::executeRecursive(std::vector<int64_t>& iv,
+                           std::vector<int64_t>& original_iv,
+                           int level) const
+{
+    if (level == static_cast<int>(schedule_.size())) {
+        for (const auto& st : statements_) {
+            if (st.site != nullptr) {
+                trace::block(*st.site);
+            }
+            for (const auto& a : st.accesses) {
+                const uint64_t addr =
+                    a.sim_base
+                    + static_cast<uint64_t>(a.index.eval(original_iv))
+                          * a.element_bytes;
+                if (a.is_write) {
+                    trace::store(addr, a.element_bytes);
+                } else {
+                    trace::load(addr, a.element_bytes);
+                }
+            }
+        }
+        return;
+    }
+
+    const Level& l = schedule_[level];
+    for (int64_t i = 0; i < l.extent; ++i) {
+        iv[level] = i;
+        const int64_t contribution =
+            l.tile_size > 0 ? i * l.tile_size : i;
+        original_iv[l.source_level] += contribution;
+        if (original_iv[l.source_level] < extents_[l.source_level]) {
+            executeRecursive(iv, original_iv, level + 1);
+        }
+        original_iv[l.source_level] -= contribution;
+    }
+}
+
+void
+LoopNest::execute() const
+{
+    std::vector<int64_t> iv(schedule_.size(), 0);
+    std::vector<int64_t> original_iv(extents_.size(), 0);
+    executeRecursive(iv, original_iv, 0);
+}
+
+std::string
+LoopNest::describe() const
+{
+    std::ostringstream os;
+    os << name_ << ": ";
+    for (const auto& l : schedule_) {
+        os << (l.tile_size > 0 ? "tile(" : "for(")
+           << "iv" << l.source_level << ":" << l.extent;
+        if (l.tile_size > 0) {
+            os << "x" << l.tile_size;
+        }
+        os << ") ";
+    }
+    os << "{ " << statements_.size() << " statements }";
+    return os.str();
+}
+
+} // namespace vtrans::loopopt

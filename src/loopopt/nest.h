@@ -1,0 +1,143 @@
+#ifndef VTRANS_LOOPOPT_NEST_H_
+#define VTRANS_LOOPOPT_NEST_H_
+
+/**
+ * @file
+ * A polyhedral-lite loop-nest IR — the Graphite stand-in (paper §III-B4).
+ *
+ * Models perfect rectangular loop nests whose statements make affine
+ * array accesses. Supports the transformations Graphite applies to
+ * FFmpeg's pixel loops (-floop-interchange, -floop-block/tiling,
+ * -ftree-loop-distribution), each guarded by a distance-vector dependence
+ * legality test. Executing a nest emits probe events, so the cache effect
+ * of a transformation is directly measurable in the simulator.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/probe.h"
+
+namespace vtrans::loopopt {
+
+/** An affine function of the loop induction variables. */
+struct Affine
+{
+    int64_t constant = 0;
+    std::vector<int64_t> coeffs;  ///< One per loop depth.
+
+    int64_t
+    eval(const std::vector<int64_t>& iv) const
+    {
+        int64_t v = constant;
+        for (size_t d = 0; d < coeffs.size() && d < iv.size(); ++d) {
+            v += coeffs[d] * iv[d];
+        }
+        return v;
+    }
+};
+
+/** One array access inside the loop body. */
+struct Access
+{
+    std::string array;     ///< Array identity (dependences are per-array).
+    uint64_t sim_base = 0; ///< Simulated base address of the array.
+    Affine index;          ///< Element index as a function of the ivs.
+    uint32_t element_bytes = 4;
+    bool is_write = false;
+};
+
+/** A statement: its accesses plus an instruction weight and code site. */
+struct Statement
+{
+    std::string name;
+    std::vector<Access> accesses;
+    uint32_t instructions = 4;
+    trace::CodeSite* site = nullptr; ///< Optional probe site.
+};
+
+/** A dependence direction at one loop level. */
+enum class Direction : uint8_t { Lt, Eq, Gt, Unknown };
+
+/** A dependence between two accesses, one direction entry per level. */
+struct Dependence
+{
+    std::string array;
+    std::vector<Direction> directions;
+};
+
+/**
+ * A perfect rectangular loop nest. Iteration executes every statement in
+ * order for each point of the iteration space (row-major over `extents`).
+ */
+class LoopNest
+{
+  public:
+    /** Creates a nest with the given per-level trip counts. */
+    LoopNest(std::string name, std::vector<int64_t> extents);
+
+    /** Adds a statement to the body. */
+    void addStatement(Statement statement);
+
+    int depth() const { return static_cast<int>(extents_.size()); }
+    const std::vector<int64_t>& extents() const { return extents_; }
+    const std::vector<Statement>& statements() const { return statements_; }
+    const std::string& name() const { return name_; }
+
+    /** Total iterations of the body. */
+    uint64_t iterations() const;
+
+    /** All dependences between accesses to the same array. */
+    std::vector<Dependence> dependences() const;
+
+    /** True if swapping levels `a` and `b` preserves every dependence. */
+    bool canInterchange(int a, int b) const;
+
+    /** Swaps levels `a` and `b` (fatal if illegal). */
+    void interchange(int a, int b);
+
+    /** True if the whole nest is fully permutable (tiling-safe). */
+    bool canTile() const;
+
+    /**
+     * Tiles level `level` with the given tile size: the level is
+     * strip-mined into (tile, intra-tile) and the tile loop is hoisted to
+     * the outermost position. Fatal if the nest is not permutable.
+     */
+    void tile(int level, int64_t tile_size);
+
+    /**
+     * Distributes the nest: one new single-statement nest per statement,
+     * in statement order. Legal when no statement pair has a
+     * loop-carried dependence in both directions; fatal otherwise.
+     */
+    std::vector<LoopNest> distribute() const;
+
+    /** Runs the nest, emitting block/load/store probe events. */
+    void execute() const;
+
+    /** Renders the schedule for debugging ("for i0 in 0..N: ..."). */
+    std::string describe() const;
+
+  private:
+    struct Level
+    {
+        int64_t extent;
+        int source_level;   ///< Which original iv this level drives.
+        int64_t tile_size;  ///< 0: drives the iv directly; >0: tile loop.
+    };
+
+    void executeRecursive(std::vector<int64_t>& iv,
+                          std::vector<int64_t>& original_iv,
+                          int level) const;
+
+    std::string name_;
+    std::vector<int64_t> extents_;  ///< Original per-iv trip counts.
+    std::vector<Level> schedule_;   ///< Current loop order (transformed).
+    std::vector<Statement> statements_;
+};
+
+} // namespace vtrans::loopopt
+
+#endif // VTRANS_LOOPOPT_NEST_H_

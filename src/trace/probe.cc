@@ -1,0 +1,58 @@
+#include "trace/probe.h"
+
+#include "common/status.h"
+
+namespace vtrans::trace {
+
+ProbeSink* g_sink = nullptr;
+
+void
+setSink(ProbeSink* sink)
+{
+    g_sink = sink;
+}
+
+SiteRegistry&
+registry()
+{
+    static SiteRegistry instance;
+    return instance;
+}
+
+SimArena&
+arena()
+{
+    static SimArena instance;
+    return instance;
+}
+
+CodeSite&
+SiteRegistry::define(std::string name, uint32_t bytes, uint32_t instructions,
+                     SiteKind kind)
+{
+    VT_ASSERT(bytes > 0, "code site must have non-zero size: ", name);
+    auto* site = new CodeSite;
+    site->id = static_cast<uint32_t>(sites_.size());
+    site->name = std::move(name);
+    site->bytes = bytes * kCodeScale;
+    site->instructions = instructions;
+    site->kind = kind;
+    site->address = next_address_;
+    next_address_ += site->bytes + kDefaultColdPadding;
+    sites_.push_back(site);
+    return *site;
+}
+
+void
+SiteRegistry::resetLayout()
+{
+    uint64_t addr = kTextBase;
+    for (CodeSite* site : sites_) {
+        site->address = addr;
+        site->invert = false;
+        addr += site->bytes + kDefaultColdPadding;
+    }
+    next_address_ = addr;
+}
+
+} // namespace vtrans::trace

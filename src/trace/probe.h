@@ -1,0 +1,217 @@
+#ifndef VTRANS_TRACE_PROBE_H_
+#define VTRANS_TRACE_PROBE_H_
+
+/**
+ * @file
+ * The probe bus: the contract between instrumented workload code (the
+ * codec's hot kernels) and observers (the microarchitecture simulator, the
+ * AutoFDO-style profile collector).
+ *
+ * Instrumented code declares static CodeSites — symbolic basic blocks with
+ * a size in code bytes, an instruction count, and a mutable layout address —
+ * and emits dynamic events through the free functions block()/branch()/
+ * load()/store(). When no sink is attached the per-event cost is a single
+ * predictable branch, so the codec can also run "natively".
+ *
+ * This layer is the stand-in for binary instrumentation / hardware
+ * performance counters in the paper's methodology (Intel VTune + Linux
+ * perf, §III-B): instead of sampling a real PMU we observe the actual
+ * dynamic instruction, memory, and branch stream of the same algorithms.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vtrans::trace {
+
+/** Classifies what a code site represents. */
+enum class SiteKind : uint8_t {
+    Block,         ///< Straight-line code; no terminating conditional.
+    BlockLoadDep,  ///< Straight-line code consuming just-loaded data.
+    Branch,        ///< Ends in a conditional branch (direction is probed).
+    BranchLoadDep, ///< Conditional branch whose condition depends on a load.
+};
+
+/**
+ * A static basic block of the (virtual) workload binary.
+ *
+ * `address` is the block's position in the virtual code layout; the
+ * AutoFDO-style relayout pass rewrites it. `invert` models branch-polarity
+ * flipping by basic-block chaining: when set, the dynamic direction fed to
+ * the frontend is inverted so that the hot successor becomes fall-through.
+ */
+struct CodeSite
+{
+    uint32_t id = 0;           ///< Dense index into the registry.
+    std::string name;          ///< Hierarchical name, e.g. "me.sad.row".
+    uint32_t bytes = 0;        ///< Static code size of the block in bytes.
+    uint32_t instructions = 0; ///< Non-memory, non-branch instructions.
+    SiteKind kind = SiteKind::Block;
+    uint64_t address = 0;      ///< Current layout address (mutable).
+    bool invert = false;       ///< Branch polarity flip from relayout.
+};
+
+/** Receives dynamic events from instrumented code. */
+class ProbeSink
+{
+  public:
+    virtual ~ProbeSink() = default;
+
+    /** A basic block executed (implies fetch of its bytes). */
+    virtual void onBlock(const CodeSite& site) = 0;
+
+    /**
+     * The conditional branch terminating `site` executed.
+     * @param taken Direction after layout polarity is applied.
+     */
+    virtual void onBranch(const CodeSite& site, bool taken) = 0;
+
+    /** A data load of `bytes` at simulated address `addr`. */
+    virtual void onLoad(uint64_t addr, uint32_t bytes) = 0;
+
+    /** A data store of `bytes` at simulated address `addr`. */
+    virtual void onStore(uint64_t addr, uint32_t bytes) = 0;
+};
+
+/**
+ * The global table of code sites plus the default code layout.
+ *
+ * Sites register once (function-local statics in kernel code) and persist
+ * for the process lifetime. The default layout emulates a compiled binary
+ * without profile feedback: blocks appear in registration order, separated
+ * by cold-code padding, so the hot working set is diluted across many
+ * instruction-cache lines.
+ */
+class SiteRegistry
+{
+  public:
+    /** Bytes of cold padding placed after each block by default. Sized so
+     *  the default layout dilutes the hot working set across many cache
+     *  lines and pages, as an unoptimized binary's interleaved cold code
+     *  does — the inefficiency profile-guided relayout removes. */
+    static constexpr uint32_t kDefaultColdPadding = 1600;
+    /** Base virtual address of the text segment. */
+    static constexpr uint64_t kTextBase = 0x400000;
+
+    /** Static code sizes are declared per probe block; the surrounding
+     *  always-executed function body (prologue, address math, the code
+     *  between probes) is modelled by scaling the declared size. This
+     *  puts the per-macroblock code walk at a realistic multiple of the
+     *  L1i capacity, as in x264. */
+    static constexpr uint32_t kCodeScale = 6;
+
+    /** Registers a site and assigns its default-layout address. */
+    CodeSite& define(std::string name, uint32_t bytes, uint32_t instructions,
+                     SiteKind kind);
+
+    /** All registered sites (stable storage; index == id). */
+    const std::vector<CodeSite*>& sites() const { return sites_; }
+
+    /** Looks up a site by id. */
+    CodeSite& site(uint32_t id) { return *sites_.at(id); }
+
+    /** Restores default-layout addresses and clears polarity flips. */
+    void resetLayout();
+
+    /** Total span of the default layout in bytes (footprint proxy). */
+    uint64_t defaultSpan() const { return next_address_ - kTextBase; }
+
+  private:
+    std::vector<CodeSite*> sites_;
+    uint64_t next_address_ = kTextBase;
+};
+
+/** The process-wide site registry. */
+SiteRegistry& registry();
+
+/** The currently attached sink (nullptr when tracing is off). */
+extern ProbeSink* g_sink;
+
+/** Attaches a sink (replacing any previous one); nullptr detaches. */
+void setSink(ProbeSink* sink);
+
+/** Emits a basic-block execution event. */
+inline void
+block(const CodeSite& site)
+{
+    if (g_sink) {
+        g_sink->onBlock(site);
+    }
+}
+
+/** Emits a block + conditional-branch event with layout polarity applied. */
+inline void
+branch(const CodeSite& site, bool taken)
+{
+    if (g_sink) {
+        g_sink->onBlock(site);
+        g_sink->onBranch(site, taken != site.invert);
+    }
+}
+
+/** Emits a data-load event. */
+inline void
+load(uint64_t addr, uint32_t bytes)
+{
+    if (g_sink) {
+        g_sink->onLoad(addr, bytes);
+    }
+}
+
+/** Emits a data-store event. */
+inline void
+store(uint64_t addr, uint32_t bytes)
+{
+    if (g_sink) {
+        g_sink->onStore(addr, bytes);
+    }
+}
+
+/**
+ * Deterministic simulated-address allocator for workload data structures.
+ *
+ * Host pointer values vary run to run; every probed buffer instead reserves
+ * a range here so data-cache behaviour is exactly reproducible. Addresses
+ * are 64-byte aligned and dense, mimicking a heap without randomization.
+ */
+class SimArena
+{
+  public:
+    /** Base virtual address of the simulated heap. */
+    static constexpr uint64_t kHeapBase = 0x100000000ull;
+
+    /** Reserves `bytes` and returns the range's base address. */
+    uint64_t
+    alloc(uint64_t bytes, uint64_t align = 64)
+    {
+        uint64_t base = (next_ + align - 1) & ~(align - 1);
+        next_ = base + bytes;
+        return base;
+    }
+
+    /** Returns the allocator to an empty heap (new measurement run). */
+    void reset() { next_ = kHeapBase; }
+
+    /** Bytes allocated since the last reset. */
+    uint64_t used() const { return next_ - kHeapBase; }
+
+  private:
+    uint64_t next_ = kHeapBase;
+};
+
+/** The process-wide simulated heap. */
+SimArena& arena();
+
+} // namespace vtrans::trace
+
+/**
+ * Declares (once) a static code site bound to a local reference.
+ * Usage: VT_SITE(site, "me.sad.row", 48, 10, Block);
+ */
+#define VT_SITE(var, name, bytes, instrs, kindtag) \
+    static ::vtrans::trace::CodeSite& var = \
+        ::vtrans::trace::registry().define( \
+            name, bytes, instrs, ::vtrans::trace::SiteKind::kindtag)
+
+#endif // VTRANS_TRACE_PROBE_H_

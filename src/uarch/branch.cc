@@ -1,0 +1,272 @@
+#include "uarch/branch.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace vtrans::uarch {
+
+namespace {
+
+/** Saturating 2-bit counter update. */
+inline void
+train2bit(uint8_t& ctr, bool taken)
+{
+    if (taken) {
+        if (ctr < 3) {
+            ++ctr;
+        }
+    } else if (ctr > 0) {
+        --ctr;
+    }
+}
+
+} // namespace
+
+// ---- Pentium-M-style hybrid ------------------------------------------------
+
+PentiumMPredictor::PentiumMPredictor()
+    : bimodal_(kTableSize, 2), gshare_(kTableSize, 2),
+      chooser_(kTableSize, 2)
+{
+}
+
+uint32_t
+PentiumMPredictor::bimodalIndex(uint64_t pc) const
+{
+    return static_cast<uint32_t>((pc >> 2) & (kTableSize - 1));
+}
+
+uint32_t
+PentiumMPredictor::gshareIndex(uint64_t pc) const
+{
+    return static_cast<uint32_t>(((pc >> 2) ^ ghr_) & (kTableSize - 1));
+}
+
+bool
+PentiumMPredictor::predict(uint64_t pc)
+{
+    const bool bim = bimodal_[bimodalIndex(pc)] >= 2;
+    const bool gsh = gshare_[gshareIndex(pc)] >= 2;
+    const bool use_gshare = chooser_[bimodalIndex(pc)] >= 2;
+    return use_gshare ? gsh : bim;
+}
+
+void
+PentiumMPredictor::update(uint64_t pc, bool taken)
+{
+    const uint32_t bi = bimodalIndex(pc);
+    const uint32_t gi = gshareIndex(pc);
+    const bool bim_correct = (bimodal_[bi] >= 2) == taken;
+    const bool gsh_correct = (gshare_[gi] >= 2) == taken;
+    if (bim_correct != gsh_correct) {
+        train2bit(chooser_[bi], gsh_correct);
+    }
+    train2bit(bimodal_[bi], taken);
+    train2bit(gshare_[gi], taken);
+    ghr_ = ((ghr_ << 1) | (taken ? 1 : 0)) & 0xfff;
+}
+
+// ---- TAGE ---------------------------------------------------------------
+
+constexpr int TagePredictor::kHistLengths[TagePredictor::kTables];
+
+TagePredictor::TagePredictor() : base_(1u << 12, 2)
+{
+    for (auto& t : tables_) {
+        t.resize(kTableSize);
+    }
+}
+
+uint64_t
+TagePredictor::foldedHistory(int bits, int length) const
+{
+    // Folds `length` bits of global history into `bits` bits by XOR.
+    uint64_t folded = 0;
+    int consumed = 0;
+    while (consumed < length) {
+        const int word = consumed / 64;
+        const int offset = consumed % 64;
+        int chunk = std::min({64 - offset, length - consumed, bits});
+        const uint64_t piece =
+            (ghist_[word] >> offset) & ((chunk >= 64) ? ~0ull
+                                                      : ((1ull << chunk) - 1));
+        folded ^= piece;
+        consumed += chunk;
+    }
+    return folded & ((bits >= 64) ? ~0ull : ((1ull << bits) - 1));
+}
+
+uint32_t
+TagePredictor::index(uint64_t pc, int table) const
+{
+    const uint64_t h = foldedHistory(kTableBits, kHistLengths[table]);
+    return static_cast<uint32_t>(((pc >> 2) ^ (pc >> (kTableBits + 2)) ^ h)
+                                 & (kTableSize - 1));
+}
+
+uint16_t
+TagePredictor::tag(uint64_t pc, int table) const
+{
+    const uint64_t h = foldedHistory(8, kHistLengths[table]);
+    const uint64_t h2 = foldedHistory(7, kHistLengths[table]) << 1;
+    return static_cast<uint16_t>(((pc >> 2) ^ h ^ h2) & 0xff);
+}
+
+bool
+TagePredictor::predict(uint64_t pc)
+{
+    last_pc_ = pc;
+    provider_ = -1;
+    altpred_table_ = -1;
+
+    const bool base_pred = base_[(pc >> 2) & (base_.size() - 1)] >= 2;
+    altpred_ = base_pred;
+    provider_pred_ = base_pred;
+
+    for (int t = kTables - 1; t >= 0; --t) {
+        const Entry& e = tables_[t][index(pc, t)];
+        if (e.tag == tag(pc, t)) {
+            if (provider_ < 0) {
+                provider_ = t;
+                provider_pred_ = e.ctr >= 0;
+            } else if (altpred_table_ < 0) {
+                altpred_table_ = t;
+                altpred_ = e.ctr >= 0;
+                break;
+            }
+        }
+    }
+    if (provider_ >= 0 && altpred_table_ < 0) {
+        altpred_ = base_pred;
+    }
+    return provider_ >= 0 ? provider_pred_ : base_pred;
+}
+
+void
+TagePredictor::update(uint64_t pc, bool taken)
+{
+    VT_ASSERT(pc == last_pc_, "update() must follow predict() for same pc");
+
+    const bool prediction = provider_ >= 0
+                                ? provider_pred_
+                                : (base_[(pc >> 2) & (base_.size() - 1)]
+                                   >= 2);
+
+    // Train the provider (or the base table).
+    if (provider_ >= 0) {
+        Entry& e = tables_[provider_][index(pc, provider_)];
+        if (taken) {
+            if (e.ctr < 3) {
+                ++e.ctr;
+            }
+        } else if (e.ctr > -4) {
+            --e.ctr;
+        }
+        // Useful counter: provider differed from altpred and was right.
+        if (provider_pred_ != altpred_) {
+            if (provider_pred_ == taken) {
+                if (e.useful < 3) {
+                    ++e.useful;
+                }
+            } else if (e.useful > 0) {
+                --e.useful;
+            }
+        }
+    } else {
+        train2bit(base_[(pc >> 2) & (base_.size() - 1)], taken);
+    }
+
+    // Allocate a longer-history entry on a mispredict.
+    if (prediction != taken && provider_ < kTables - 1) {
+        // Simple xorshift for the allocation tie-break.
+        rng_state_ ^= rng_state_ << 13;
+        rng_state_ ^= rng_state_ >> 7;
+        rng_state_ ^= rng_state_ << 17;
+
+        bool allocated = false;
+        for (int t = provider_ + 1; t < kTables; ++t) {
+            Entry& e = tables_[t][index(pc, t)];
+            if (e.useful == 0) {
+                e.tag = tag(pc, t);
+                e.ctr = taken ? 0 : -1;
+                allocated = true;
+                break;
+            }
+        }
+        if (!allocated) {
+            // Decay useful bits on the candidate path.
+            for (int t = provider_ + 1; t < kTables; ++t) {
+                Entry& e = tables_[t][index(pc, t)];
+                if (e.useful > 0) {
+                    --e.useful;
+                }
+            }
+        }
+    }
+
+    // Shift global history (256 bits across four words).
+    const uint64_t carry3 = ghist_[2] >> 63;
+    const uint64_t carry2 = ghist_[1] >> 63;
+    const uint64_t carry1 = ghist_[0] >> 63;
+    ghist_[3] = (ghist_[3] << 1) | carry3;
+    ghist_[2] = (ghist_[2] << 1) | carry2;
+    ghist_[1] = (ghist_[1] << 1) | carry1;
+    ghist_[0] = (ghist_[0] << 1) | (taken ? 1 : 0);
+}
+
+std::unique_ptr<BranchPredictor>
+makePredictor(const std::string& name)
+{
+    if (name == "pentium_m") {
+        return std::make_unique<PentiumMPredictor>();
+    }
+    if (name == "tage") {
+        return std::make_unique<TagePredictor>();
+    }
+    VT_FATAL("unknown branch predictor: ", name,
+             " (known: pentium_m, tage)");
+}
+
+// ---- BTB ------------------------------------------------------------------
+
+Btb::Btb(uint32_t entries, uint32_t ways) : ways_(ways)
+{
+    VT_ASSERT(entries % ways == 0, "BTB entries must divide into ways");
+    sets_ = entries / ways;
+    VT_ASSERT((sets_ & (sets_ - 1)) == 0, "BTB set count must be 2^k");
+    slots_.resize(entries);
+}
+
+bool
+Btb::access(uint64_t pc)
+{
+    ++accesses_;
+    ++tick_;
+    const uint64_t key = pc >> 2;
+    const uint32_t set = static_cast<uint32_t>(key & (sets_ - 1));
+    Entry* base = &slots_[static_cast<size_t>(set) * ways_];
+    for (uint32_t w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].tag == key) {
+            base[w].lru = tick_;
+            return true;
+        }
+    }
+    ++misses_;
+    Entry* victim = base;
+    for (uint32_t w = 0; w < ways_; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lru < victim->lru) {
+            victim = &base[w];
+        }
+    }
+    victim->valid = true;
+    victim->tag = key;
+    victim->lru = tick_;
+    return false;
+}
+
+} // namespace vtrans::uarch

@@ -1,0 +1,142 @@
+#ifndef VTRANS_UARCH_BRANCH_H_
+#define VTRANS_UARCH_BRANCH_H_
+
+/**
+ * @file
+ * Branch direction predictors. The baseline is a Pentium-M-style hybrid
+ * (bimodal + global gshare + chooser), Sniper's default for Gainestown;
+ * Table IV's bs_op replaces it with TAGE. A small BTB models taken-branch
+ * redirect bubbles in the frontend.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vtrans::uarch {
+
+/** Direction predictor interface. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /** Predicts the direction of the branch at `pc`. */
+    virtual bool predict(uint64_t pc) = 0;
+
+    /** Trains with the resolved direction. */
+    virtual void update(uint64_t pc, bool taken) = 0;
+
+    /** Predictor family name ("pentium_m", "tage"). */
+    virtual std::string name() const = 0;
+};
+
+/**
+ * Pentium-M-like hybrid: a 4K-entry bimodal table, a gshare component
+ * with 12 bits of global history, and a 4K-entry chooser trained toward
+ * whichever component was right.
+ */
+class PentiumMPredictor : public BranchPredictor
+{
+  public:
+    PentiumMPredictor();
+
+    bool predict(uint64_t pc) override;
+    void update(uint64_t pc, bool taken) override;
+    std::string name() const override { return "pentium_m"; }
+
+  private:
+    static constexpr int kTableBits = 12;
+    static constexpr uint32_t kTableSize = 1u << kTableBits;
+
+    uint32_t bimodalIndex(uint64_t pc) const;
+    uint32_t gshareIndex(uint64_t pc) const;
+
+    std::vector<uint8_t> bimodal_;
+    std::vector<uint8_t> gshare_;
+    std::vector<uint8_t> chooser_;
+    uint32_t ghr_ = 0;
+};
+
+/**
+ * TAGE: a bimodal base predictor plus N partially-tagged tables indexed
+ * with geometrically growing global-history lengths; longest matching
+ * tag wins, with useful-bit guided allocation on mispredicts.
+ */
+class TagePredictor : public BranchPredictor
+{
+  public:
+    TagePredictor();
+
+    bool predict(uint64_t pc) override;
+    void update(uint64_t pc, bool taken) override;
+    std::string name() const override { return "tage"; }
+
+  private:
+    static constexpr int kTables = 4;
+    static constexpr int kTableBits = 10;
+    static constexpr uint32_t kTableSize = 1u << kTableBits;
+    static constexpr int kHistLengths[kTables] = {5, 15, 44, 130};
+
+    struct Entry
+    {
+        uint16_t tag = 0;
+        int8_t ctr = 0;   ///< Signed saturating [-4, 3]; >= 0 means taken.
+        uint8_t useful = 0;
+    };
+
+    uint32_t index(uint64_t pc, int table) const;
+    uint16_t tag(uint64_t pc, int table) const;
+    uint64_t foldedHistory(int bits, int length) const;
+
+    std::vector<uint8_t> base_; ///< Bimodal 2-bit counters.
+    std::vector<Entry> tables_[kTables];
+    uint64_t ghist_[4] = {}; ///< 256 bits of global history.
+    uint64_t rng_state_ = 0x12345678;
+
+    // Prediction bookkeeping between predict() and update().
+    int provider_ = -1;
+    int altpred_table_ = -1;
+    bool provider_pred_ = false;
+    bool altpred_ = false;
+    uint64_t last_pc_ = 0;
+};
+
+/** Creates a predictor by family name. */
+std::unique_ptr<BranchPredictor> makePredictor(const std::string& name);
+
+/**
+ * Branch target buffer, modelled as tag presence only: a taken branch
+ * whose PC misses the BTB costs a frontend redirect bubble.
+ */
+class Btb
+{
+  public:
+    Btb(uint32_t entries = 2048, uint32_t ways = 4);
+
+    /** Looks up `pc`, inserting on miss. @return hit? */
+    bool access(uint64_t pc);
+
+    uint64_t accesses() const { return accesses_; }
+    uint64_t misses() const { return misses_; }
+
+  private:
+    struct Entry
+    {
+        uint64_t tag = 0;
+        uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    uint32_t sets_;
+    uint32_t ways_;
+    std::vector<Entry> slots_;
+    uint64_t tick_ = 0;
+    uint64_t accesses_ = 0;
+    uint64_t misses_ = 0;
+};
+
+} // namespace vtrans::uarch
+
+#endif // VTRANS_UARCH_BRANCH_H_

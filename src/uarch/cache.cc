@@ -1,0 +1,193 @@
+#include "uarch/cache.h"
+
+#include <memory>
+
+#include "common/status.h"
+
+namespace vtrans::uarch {
+
+namespace {
+
+bool
+isPowerOfTwo(uint32_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+Cache::Cache(std::string name, const CacheParams& params)
+    : name_(std::move(name)), params_(params)
+{
+    VT_ASSERT(isPowerOfTwo(params_.line_bytes), "line size must be 2^k");
+    VT_ASSERT(params_.assoc > 0, "associativity must be positive");
+    VT_ASSERT(params_.size_bytes % (params_.line_bytes * params_.assoc)
+                  == 0,
+              "cache size must be a whole number of sets: ", name_);
+    sets_ = params_.size_bytes / (params_.line_bytes * params_.assoc);
+    VT_ASSERT(isPowerOfTwo(sets_), "set count must be 2^k: ", name_);
+    ways_.resize(static_cast<size_t>(sets_) * params_.assoc);
+}
+
+bool
+Cache::access(uint64_t addr)
+{
+    ++accesses_;
+    ++tick_;
+    const uint64_t line = addr / params_.line_bytes;
+    const uint32_t set = static_cast<uint32_t>(line & (sets_ - 1));
+    const uint64_t tag = line >> __builtin_ctz(sets_);
+
+    Way* base = &ways_[static_cast<size_t>(set) * params_.assoc];
+    for (uint32_t w = 0; w < params_.assoc; ++w) {
+        Way& way = base[w];
+        if (way.valid && way.tag == tag) {
+            way.lru = tick_;
+            return true;
+        }
+    }
+    // Victim: first invalid way, else true LRU.
+    Way* victim = base;
+    for (uint32_t w = 0; w < params_.assoc; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lru < victim->lru) {
+            victim = &base[w];
+        }
+    }
+    ++misses_;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lru = tick_;
+    return false;
+}
+
+bool
+Cache::contains(uint64_t addr) const
+{
+    const uint64_t line = addr / params_.line_bytes;
+    const uint32_t set = static_cast<uint32_t>(line & (sets_ - 1));
+    const uint64_t tag = line >> __builtin_ctz(sets_);
+    const Way* base = &ways_[static_cast<size_t>(set) * params_.assoc];
+    for (uint32_t w = 0; w < params_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Cache::reset()
+{
+    for (auto& way : ways_) {
+        way.valid = false;
+    }
+    tick_ = 0;
+    accesses_ = 0;
+    misses_ = 0;
+}
+
+CacheHierarchy::CacheHierarchy(const CacheParams& l1d,
+                               const CacheParams& l1i, const CacheParams& l2,
+                               const CacheParams& l3, uint32_t l4_size,
+                               const LatencyParams& lat)
+    : l1d_("L1d", l1d),
+      l1i_("L1i", l1i),
+      l2_("L2", l2),
+      l3_("L3", l3),
+      lat_(lat)
+{
+    if (l4_size > 0) {
+        CacheParams p;
+        p.size_bytes = l4_size;
+        p.assoc = 16;
+        l4_ = std::make_unique<Cache>("L4", p);
+    }
+}
+
+AccessResult
+CacheHierarchy::missPath(uint64_t addr)
+{
+    // Shared L2 -> L3 -> (L4) -> memory walk after an L1 miss.
+    AccessResult r;
+    if (l2_.access(addr)) {
+        r.latency = lat_.l2;
+        return r;
+    }
+    r.l2_miss = true;
+    if (l3_.access(addr)) {
+        r.latency = lat_.l3;
+        return r;
+    }
+    r.l3_miss = true;
+    if (l4_ != nullptr) {
+        if (l4_->access(addr)) {
+            r.latency = lat_.l4;
+            return r;
+        }
+        r.l4_miss = true;
+    }
+    r.latency = lat_.memory;
+    return r;
+}
+
+AccessResult
+CacheHierarchy::dataAccess(uint64_t addr)
+{
+    if (l1d_.access(addr)) {
+        return {lat_.l1, false, false, false, false};
+    }
+    AccessResult r = missPath(addr);
+    r.l1_miss = true;
+    r.latency += lat_.l1;
+    return r;
+}
+
+AccessResult
+CacheHierarchy::fetchAccess(uint64_t addr)
+{
+    if (l1i_.access(addr)) {
+        return {lat_.l1, false, false, false, false};
+    }
+    AccessResult r = missPath(addr);
+    r.l1_miss = true;
+    r.latency += lat_.l1;
+    return r;
+}
+
+int
+CacheHierarchy::dataAccessBytes(uint64_t addr, uint32_t bytes,
+                                AccessResult* worst)
+{
+    const uint32_t line = l1d_.lineBytes();
+    const uint64_t first = addr / line;
+    const uint64_t last = (addr + (bytes == 0 ? 0 : bytes - 1)) / line;
+    int max_latency = 0;
+    for (uint64_t l = first; l <= last; ++l) {
+        const AccessResult r = dataAccess(l * line);
+        if (r.latency > max_latency) {
+            max_latency = r.latency;
+            if (worst != nullptr) {
+                *worst = r;
+            }
+        }
+    }
+    return max_latency;
+}
+
+void
+CacheHierarchy::reset()
+{
+    l1d_.reset();
+    l1i_.reset();
+    l2_.reset();
+    l3_.reset();
+    if (l4_ != nullptr) {
+        l4_->reset();
+    }
+}
+
+} // namespace vtrans::uarch

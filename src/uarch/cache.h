@@ -1,0 +1,140 @@
+#ifndef VTRANS_UARCH_CACHE_H_
+#define VTRANS_UARCH_CACHE_H_
+
+/**
+ * @file
+ * Set-associative caches with LRU replacement and a multi-level hierarchy,
+ * modelling the Intel Xeon E3 memory system of the paper's test machine
+ * (§III: 32K L1i + 32K L1d, 256K L2, 8M L3) and the enlarged variants of
+ * Table IV (incl. an L4 for be_op1).
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vtrans::uarch {
+
+/** Geometry of one cache level. */
+struct CacheParams
+{
+    uint32_t size_bytes = 32 * 1024;
+    uint32_t assoc = 8;
+    uint32_t line_bytes = 64;
+};
+
+/**
+ * One set-associative cache level with true-LRU replacement.
+ * Tag-only (no data): the simulator needs hit/miss, not contents.
+ */
+class Cache
+{
+  public:
+    Cache(std::string name, const CacheParams& params);
+
+    /**
+     * Looks up the line containing `addr`, filling on miss.
+     * @return true on hit.
+     */
+    bool access(uint64_t addr);
+
+    /** Probes without updating LRU or filling (testing aid). */
+    bool contains(uint64_t addr) const;
+
+    /** Invalidates everything. */
+    void reset();
+
+    const std::string& name() const { return name_; }
+    uint64_t accesses() const { return accesses_; }
+    uint64_t misses() const { return misses_; }
+    uint32_t sets() const { return sets_; }
+    uint32_t assoc() const { return params_.assoc; }
+    uint32_t lineBytes() const { return params_.line_bytes; }
+
+  private:
+    struct Way
+    {
+        uint64_t tag = 0;
+        uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    std::string name_;
+    CacheParams params_;
+    uint32_t sets_;
+    std::vector<Way> ways_; ///< sets_ x assoc, row-major.
+    uint64_t tick_ = 0;
+    uint64_t accesses_ = 0;
+    uint64_t misses_ = 0;
+};
+
+/** Access latencies (cycles) of each level of the hierarchy. */
+struct LatencyParams
+{
+    int l1 = 4;
+    int l2 = 12;
+    int l3 = 38;
+    int l4 = 55;
+    int memory = 230;
+    int itlb_miss = 30;
+};
+
+/** Result of a hierarchy access: total latency plus the miss path. */
+struct AccessResult
+{
+    int latency = 0;
+    bool l1_miss = false;
+    bool l2_miss = false;
+    bool l3_miss = false;
+    bool l4_miss = false;
+};
+
+/**
+ * The full data/instruction hierarchy: split L1s, unified L2/L3 and an
+ * optional L4. Inclusive-enough behaviour for MPKI purposes: each miss
+ * falls through to the next level and fills every level on the way back.
+ */
+class CacheHierarchy
+{
+  public:
+    /**
+     * @param l4_size 0 disables the L4 level (the baseline config).
+     */
+    CacheHierarchy(const CacheParams& l1d, const CacheParams& l1i,
+                   const CacheParams& l2, const CacheParams& l3,
+                   uint32_t l4_size, const LatencyParams& lat);
+
+    /** A data-side access (loads and stores: write-allocate). */
+    AccessResult dataAccess(uint64_t addr);
+
+    /** An instruction-fetch access. */
+    AccessResult fetchAccess(uint64_t addr);
+
+    /** Spans an access over cache lines: one access per touched line. */
+    int dataAccessBytes(uint64_t addr, uint32_t bytes, AccessResult* worst);
+
+    Cache& l1d() { return l1d_; }
+    Cache& l1i() { return l1i_; }
+    Cache& l2() { return l2_; }
+    Cache& l3() { return l3_; }
+    bool hasL4() const { return l4_ != nullptr; }
+    Cache& l4() { return *l4_; }
+    const LatencyParams& latencies() const { return lat_; }
+
+    void reset();
+
+  private:
+    AccessResult missPath(uint64_t addr);
+
+    Cache l1d_;
+    Cache l1i_;
+    Cache l2_;
+    Cache l3_;
+    std::unique_ptr<Cache> l4_;
+    LatencyParams lat_;
+};
+
+} // namespace vtrans::uarch
+
+#endif // VTRANS_UARCH_CACHE_H_

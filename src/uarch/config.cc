@@ -1,0 +1,100 @@
+#include "uarch/config.h"
+
+#include "common/status.h"
+
+namespace vtrans::uarch {
+
+// Scaled-simulation methodology (DESIGN.md §5): the synthetic videos are
+// 1/12-scale in area, so cache capacities are scaled down to keep the
+// working-set-to-capacity ratios of the paper's machine. Divisors:
+// L1d /8 (a frame column pass must exceed it, as 1080 rows exceed 32K),
+// L1i /4, L2 /8, L3 /64, iTLB /8. All *relationships* of Table IV are preserved
+// exactly: fe_op doubles L1i and the iTLB; be_op1 doubles L1d and L2,
+// halves L3, and adds an L4 of twice the baseline L3; be_op2 doubles the
+// ROB and RS and issues at dispatch; bs_op swaps the predictor for TAGE.
+
+CoreParams
+baselineConfig()
+{
+    CoreParams p;
+    p.name = "baseline";
+    // Table IV baseline (Gainestown): 32K L1d/L1i -> 8K scaled, 256K L2
+    // -> 32K, 8192K L3 -> 128K, no L4, 128-entry iTLB -> 16, 128 ROB,
+    // 36 RS, no issue-at-dispatch, Pentium M predictor.
+    p.l1d = {4 * 1024, 8, 64};
+    p.l1i = {8 * 1024, 8, 64};
+    p.l2 = {32 * 1024, 8, 64};
+    p.l3 = {128 * 1024, 16, 64};
+    p.l4_size = 0;
+    p.itlb_entries = 16;
+    return p;
+}
+
+CoreParams
+feOpConfig()
+{
+    CoreParams p = baselineConfig();
+    p.name = "fe_op";
+    p.l1i.size_bytes *= 2;   // Table IV: 32K -> 64K
+    p.itlb_entries *= 2;     // Table IV: 128 -> 256
+    return p;
+}
+
+CoreParams
+beOp1Config()
+{
+    CoreParams p = baselineConfig();
+    p.name = "be_op1";
+    p.l1d.size_bytes *= 2;          // Table IV: 32K -> 64K
+    p.l2.size_bytes *= 2;           // Table IV: 256K -> 512K
+    p.l3.size_bytes /= 2;           // Table IV: 8192K -> 4096K
+    p.l4_size = 2 * baselineConfig().l3.size_bytes; // Table IV: 16384K
+    return p;
+}
+
+CoreParams
+beOp2Config()
+{
+    CoreParams p = baselineConfig();
+    p.name = "be_op2";
+    p.rob_size = 256;        // Table IV: 128 -> 256
+    p.rs_size = 72;          // Table IV: 36 -> 72
+    p.issue_at_dispatch = true;
+    return p;
+}
+
+CoreParams
+bsOpConfig()
+{
+    CoreParams p = baselineConfig();
+    p.name = "bs_op";
+    p.predictor = "tage";
+    return p;
+}
+
+std::vector<CoreParams>
+tableIVConfigs()
+{
+    return {baselineConfig(), feOpConfig(), beOp1Config(), beOp2Config(),
+            bsOpConfig()};
+}
+
+std::vector<CoreParams>
+optimizedConfigs()
+{
+    return {feOpConfig(), beOp1Config(), beOp2Config(), bsOpConfig()};
+}
+
+CoreParams
+configByName(const std::string& name)
+{
+    for (const auto& p : tableIVConfigs()) {
+        if (p.name == name) {
+            return p;
+        }
+    }
+    VT_FATAL("unknown microarchitecture config: ", name,
+             " (known: baseline, fe_op, be_op1, be_op2, bs_op)");
+}
+
+} // namespace vtrans::uarch

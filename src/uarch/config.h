@@ -1,0 +1,44 @@
+#ifndef VTRANS_UARCH_CONFIG_H_
+#define VTRANS_UARCH_CONFIG_H_
+
+/**
+ * @file
+ * The microarchitecture configurations of paper Table IV: the baseline
+ * (Sniper's default Gainestown) and the four targeted variants — fe_op
+ * (bigger L1i + iTLB), be_op1 (bigger data caches + L4), be_op2 (bigger
+ * window, issue-at-dispatch), bs_op (TAGE branch predictor).
+ */
+
+#include <vector>
+
+#include "uarch/core.h"
+
+namespace vtrans::uarch {
+
+/** The baseline configuration (Table IV row "baseline"). */
+CoreParams baselineConfig();
+
+/** fe_op: 64K L1i, 256-entry iTLB — attacks front-end stalls. */
+CoreParams feOpConfig();
+
+/** be_op1: 64K L1d, 512K L2, 4M L3, 16M L4 — attacks memory stalls. */
+CoreParams beOp1Config();
+
+/** be_op2: 256 ROB, 72 RS, issue-at-dispatch — attacks core stalls. */
+CoreParams beOp2Config();
+
+/** bs_op: TAGE branch predictor — attacks bad-speculation stalls. */
+CoreParams bsOpConfig();
+
+/** All five Table IV rows, baseline first. */
+std::vector<CoreParams> tableIVConfigs();
+
+/** The four optimized rows only (the scheduler study's server pool). */
+std::vector<CoreParams> optimizedConfigs();
+
+/** Looks a config up by name; fatal error if unknown. */
+CoreParams configByName(const std::string& name);
+
+} // namespace vtrans::uarch
+
+#endif // VTRANS_UARCH_CONFIG_H_

@@ -1,0 +1,514 @@
+#include "uarch/core.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace vtrans::uarch {
+
+// ---- Derived metrics ------------------------------------------------------
+
+double
+CoreStats::ipc() const
+{
+    return cycles == 0
+               ? 0.0
+               : static_cast<double>(instructions) / cycles;
+}
+
+namespace {
+
+double
+perKilo(uint64_t events, uint64_t instructions)
+{
+    return instructions == 0
+               ? 0.0
+               : 1000.0 * static_cast<double>(events) / instructions;
+}
+
+} // namespace
+
+double
+CoreStats::seconds() const
+{
+    return static_cast<double>(cycles) / (freq_ghz * 1e9);
+}
+
+double
+CoreStats::branchMpki() const
+{
+    return perKilo(branch_mispredicts, instructions);
+}
+
+double
+CoreStats::l1dMpki() const
+{
+    return perKilo(l1d_misses, instructions);
+}
+
+double
+CoreStats::l2Mpki() const
+{
+    return perKilo(l2_misses, instructions);
+}
+
+double
+CoreStats::l3Mpki() const
+{
+    return perKilo(l3_misses, instructions);
+}
+
+double
+CoreStats::l1iMpki() const
+{
+    return perKilo(l1i_misses, instructions);
+}
+
+TopDown
+CoreStats::topdown() const
+{
+    TopDown td;
+    if (slots_total == 0) {
+        return td;
+    }
+    const double total = static_cast<double>(slots_total);
+    td.retiring = slots_retiring / total;
+    td.frontend = slots_frontend / total;
+    td.bad_speculation = slots_bad_spec / total;
+    td.backend_memory = slots_backend_memory / total;
+    td.backend_core = slots_backend_core / total;
+    return td;
+}
+
+double
+CoreStats::robStallsPki() const
+{
+    return perKilo(slots_rob_stall / width, instructions);
+}
+
+double
+CoreStats::rsStallsPki() const
+{
+    return perKilo(slots_rs_stall / width, instructions);
+}
+
+double
+CoreStats::sbStallsPki() const
+{
+    return perKilo(slots_sb_stall / width, instructions);
+}
+
+double
+CoreStats::anyResourceStallsPki() const
+{
+    return perKilo(
+        (slots_rob_stall + slots_rs_stall + slots_sb_stall) / width,
+        instructions);
+}
+
+// ---- CoreModel -------------------------------------------------------------
+
+CoreModel::CoreModel(const CoreParams& params)
+    : params_(params),
+      caches_(params.l1d, params.l1i, params.l2, params.l3, params.l4_size,
+              params.latencies),
+      itlb_(params.itlb_entries),
+      predictor_(makePredictor(params.predictor)),
+      btb_()
+{
+    VT_ASSERT(params_.width > 0 && params_.rob_size > 0
+                  && params_.rs_size > 0 && params_.sb_size > 0,
+              "invalid core parameters");
+    stats_.width = params_.width;
+    stats_.freq_ghz = params_.freq_ghz;
+}
+
+void
+CoreModel::advanceTo(uint64_t target_cycle, StallCause cause)
+{
+    if (target_cycle <= cur_cycle_) {
+        return;
+    }
+    const uint64_t empty =
+        (target_cycle - cur_cycle_) * params_.width - slots_in_cycle_;
+    switch (cause) {
+      case StallCause::Frontend:
+        stats_.slots_frontend += empty;
+        break;
+      case StallCause::BadSpeculation:
+        stats_.slots_bad_spec += empty;
+        break;
+      case StallCause::BackendMemory:
+        stats_.slots_backend_memory += empty;
+        break;
+      case StallCause::BackendCore:
+        stats_.slots_backend_core += empty;
+        break;
+    }
+    cur_cycle_ = target_cycle;
+    slots_in_cycle_ = 0;
+}
+
+void
+CoreModel::drain()
+{
+    while (!rob_.empty() && rob_.front().time <= cur_cycle_) {
+        rob_count_ -= rob_.front().count;
+        rob_.pop_front();
+    }
+    while (!rs_.empty() && rs_.front().time <= cur_cycle_) {
+        rs_count_ -= rs_.front().count;
+        rs_.pop_front();
+    }
+    while (!sb_.empty() && sb_.front().time <= cur_cycle_) {
+        sb_count_ -= sb_.front().count;
+        sb_.pop_front();
+    }
+}
+
+void
+CoreModel::dispatch(uint32_t count)
+{
+    for (uint32_t i = 0; i < count; ++i) {
+        // Frontend availability gates dispatch.
+        if (fetch_ready_ > cur_cycle_) {
+            advanceTo(fetch_ready_, fetch_reason_);
+            drain();
+        }
+        ++stats_.slots_retiring;
+        ++stats_.instructions;
+        ++slots_in_cycle_;
+        if (slots_in_cycle_ == static_cast<uint32_t>(params_.width)) {
+            ++cur_cycle_;
+            slots_in_cycle_ = 0;
+            drain();
+        }
+    }
+}
+
+void
+CoreModel::ensureRobSpace(uint32_t count)
+{
+    while (rob_count_ + count > static_cast<uint64_t>(params_.rob_size)) {
+        VT_ASSERT(!rob_.empty(), "ROB accounting broke");
+        const WindowEntry& head = rob_.front();
+        if (head.time > cur_cycle_) {
+            const uint64_t before =
+                stats_.slots_backend_memory + stats_.slots_backend_core;
+            advanceTo(head.time, head.is_mem ? StallCause::BackendMemory
+                                             : StallCause::BackendCore);
+            stats_.slots_rob_stall +=
+                stats_.slots_backend_memory + stats_.slots_backend_core
+                - before;
+        }
+        drain();
+    }
+}
+
+void
+CoreModel::robPush(uint64_t complete, uint32_t count, bool is_mem)
+{
+    // In-order retirement: completion times are made monotone so an entry
+    // cannot retire before its predecessors.
+    complete = std::max(complete, rob_last_complete_);
+    rob_last_complete_ = complete;
+    if (!rob_.empty() && rob_.back().time == complete
+        && rob_.back().is_mem == is_mem) {
+        rob_.back().count += count;
+    } else {
+        rob_.push_back({complete, count, is_mem});
+    }
+    rob_count_ += count;
+}
+
+void
+CoreModel::ensureRsSpace(uint32_t count)
+{
+    if (params_.issue_at_dispatch) {
+        return;
+    }
+    while (rs_count_ + count > static_cast<uint64_t>(params_.rs_size)) {
+        VT_ASSERT(!rs_.empty(), "RS accounting broke");
+        const WindowEntry& head = rs_.front();
+        if (head.time > cur_cycle_) {
+            const uint64_t before =
+                stats_.slots_backend_memory + stats_.slots_backend_core;
+            advanceTo(head.time, head.is_mem ? StallCause::BackendMemory
+                                             : StallCause::BackendCore);
+            stats_.slots_rs_stall +=
+                stats_.slots_backend_memory + stats_.slots_backend_core
+                - before;
+        }
+        drain();
+    }
+}
+
+void
+CoreModel::rsPush(uint64_t free, uint32_t count, bool is_mem)
+{
+    if (params_.issue_at_dispatch) {
+        return; // be_op2: instructions leave the RS immediately.
+    }
+    free = std::max(free, rs_last_free_);
+    rs_last_free_ = free;
+    if (!rs_.empty() && rs_.back().time == free
+        && rs_.back().is_mem == is_mem) {
+        rs_.back().count += count;
+    } else {
+        rs_.push_back({free, count, is_mem});
+    }
+    rs_count_ += count;
+}
+
+void
+CoreModel::ensureSbSpace(uint32_t count)
+{
+    while (sb_count_ + count > static_cast<uint64_t>(params_.sb_size)) {
+        VT_ASSERT(!sb_.empty(), "SB accounting broke");
+        const WindowEntry& head = sb_.front();
+        if (head.time > cur_cycle_) {
+            const uint64_t before =
+                stats_.slots_backend_memory + stats_.slots_backend_core;
+            // The paper groups store-buffer stalls under core bound
+            // (Fig 5e-h discussion).
+            advanceTo(head.time, StallCause::BackendCore);
+            stats_.slots_sb_stall +=
+                stats_.slots_backend_memory + stats_.slots_backend_core
+                - before;
+        }
+        drain();
+    }
+}
+
+void
+CoreModel::resolveFrontend()
+{
+    if (fetch_ready_ > cur_cycle_) {
+        advanceTo(fetch_ready_, fetch_reason_);
+        drain();
+    }
+}
+
+void
+CoreModel::onBlock(const trace::CodeSite& site)
+{
+    // Frontend: fetch the block's cache lines through L1i and the iTLB.
+    const uint32_t line = params_.l1i.line_bytes;
+    const uint64_t first = site.address / line;
+    const uint64_t last = (site.address + site.bytes - 1) / line;
+    int fetch_penalty = 0;
+    for (uint64_t l = first; l <= last; ++l) {
+        ++stats_.l1i_accesses;
+        const AccessResult r = caches_.fetchAccess(l * line);
+        if (r.l1_miss) {
+            ++stats_.l1i_misses;
+            fetch_penalty =
+                std::max(fetch_penalty,
+                         r.latency - params_.latencies.l1);
+        }
+    }
+    if (!itlb_.access(site.address)) {
+        ++stats_.itlb_misses;
+        fetch_penalty += params_.latencies.itlb_miss;
+    }
+    if (fetch_penalty > 0) {
+        const uint64_t ready = cur_cycle_ + fetch_penalty;
+        if (ready > fetch_ready_) {
+            fetch_ready_ = ready;
+            fetch_reason_ = StallCause::Frontend;
+        }
+    }
+
+    // Backend: the block's ALU instructions complete one cycle after
+    // dispatch and issue immediately — unless the block consumes
+    // just-loaded data (BlockLoadDep), in which case its work dwells in
+    // the reservation station until the feeding load returns. Batches
+    // larger than a window structure flow through in chunks.
+    const bool load_dep = site.kind == trace::SiteKind::BlockLoadDep;
+    uint32_t remaining = site.instructions;
+    const uint32_t max_chunk = static_cast<uint32_t>(
+        std::min(params_.rob_size, params_.rs_size));
+    while (remaining > 0) {
+        const uint32_t chunk = std::min(remaining, max_chunk);
+        resolveFrontend();
+        ensureRobSpace(chunk);
+        ensureRsSpace(chunk);
+        uint64_t issue = cur_cycle_ + 1;
+        if (load_dep && last_load_complete_ > issue) {
+            issue = last_load_complete_;
+        }
+        robPush(issue, chunk, load_dep);
+        // RS dwell is bounded (entries leave at issue; the scheduler does
+        // not hold them for a full memory round trip).
+        rsPush(std::min(issue, cur_cycle_ + 15), chunk, load_dep);
+        dispatch(chunk);
+        remaining -= chunk;
+    }
+}
+
+void
+CoreModel::onBranch(const trace::CodeSite& site, bool taken)
+{
+    ++stats_.branches;
+    const bool predicted = predictor_->predict(site.address);
+    predictor_->update(site.address, taken);
+
+    resolveFrontend();
+    ensureRobSpace(1);
+    ensureRsSpace(1);
+
+    // The branch resolves when its inputs are ready; load-dependent
+    // branches resolve only after the feeding load returns.
+    uint64_t resolve = cur_cycle_ + 1;
+    if (site.kind == trace::SiteKind::BranchLoadDep) {
+        resolve = std::max(resolve, last_load_complete_);
+    }
+
+    robPush(resolve, 1, false);
+    rsPush(std::min(resolve, cur_cycle_ + 15), 1,
+           site.kind == trace::SiteKind::BranchLoadDep);
+    dispatch(1);
+
+    if (predicted != taken) {
+        ++stats_.branch_mispredicts;
+        const uint64_t ready =
+            resolve + static_cast<uint64_t>(params_.mispredict_penalty);
+        if (ready > fetch_ready_) {
+            fetch_ready_ = ready;
+            fetch_reason_ = StallCause::BadSpeculation;
+        }
+    } else if (taken) {
+        // Correctly predicted taken: redirect bubble, larger on BTB miss.
+        const bool btb_hit = btb_.access(site.address);
+        if (!btb_hit) {
+            ++stats_.btb_misses;
+        }
+        const int bubble =
+            btb_hit ? params_.taken_bubble : params_.btb_miss_penalty;
+        const uint64_t ready = cur_cycle_ + bubble;
+        if (ready > fetch_ready_) {
+            fetch_ready_ = ready;
+            fetch_reason_ = StallCause::Frontend;
+        }
+    }
+}
+
+void
+CoreModel::onLoad(uint64_t addr, uint32_t bytes)
+{
+    resolveFrontend();
+    ensureRobSpace(1);
+    ensureRsSpace(1);
+    const uint32_t line = params_.l1d.line_bytes;
+    const uint64_t first = addr / line;
+    const uint64_t last = (addr + (bytes == 0 ? 0 : bytes - 1)) / line;
+    int latency = params_.latencies.l1;
+    for (uint64_t l = first; l <= last; ++l) {
+        ++stats_.l1d_accesses;
+        const AccessResult r = caches_.dataAccess(l * line);
+        if (r.l1_miss) {
+            ++stats_.l1d_misses;
+        }
+        if (r.l2_miss) {
+            ++stats_.l2_misses;
+        }
+        if (r.l3_miss) {
+            ++stats_.l3_misses;
+        }
+        latency = std::max(latency, r.latency);
+    }
+
+    // Miss-status-holding registers bound memory-level parallelism: a
+    // miss beyond the outstanding limit starts only when the oldest one
+    // completes.
+    uint64_t complete = cur_cycle_ + latency;
+    if (latency > params_.latencies.l1) {
+        while (!mshr_.empty() && mshr_.front() <= cur_cycle_) {
+            mshr_.pop_front();
+        }
+        if (static_cast<int>(mshr_.size()) >= params_.mshr_entries) {
+            complete = mshr_.front() + latency;
+        }
+        mshr_.push_back(complete);
+    }
+    last_load_complete_ = complete;
+    robPush(complete, 1, true);
+    // Loads leave the reservation station at issue (address generation),
+    // not at data return; only a bounded scheduler dwell is charged. The
+    // in-order-retire ROB carries the full miss latency.
+    rsPush(cur_cycle_ + std::min(latency, 15), 1, true);
+    dispatch(1);
+}
+
+void
+CoreModel::onStore(uint64_t addr, uint32_t bytes)
+{
+    resolveFrontend();
+    ensureRobSpace(1);
+    ensureRsSpace(1);
+    ensureSbSpace(1);
+    const uint32_t line = params_.l1d.line_bytes;
+    const uint64_t first = addr / line;
+    const uint64_t last = (addr + (bytes == 0 ? 0 : bytes - 1)) / line;
+    int latency = params_.latencies.l1;
+    for (uint64_t l = first; l <= last; ++l) {
+        ++stats_.l1d_accesses;
+        const AccessResult r = caches_.dataAccess(l * line); // write-alloc
+        if (r.l1_miss) {
+            ++stats_.l1d_misses;
+        }
+        if (r.l2_miss) {
+            ++stats_.l2_misses;
+        }
+        if (r.l3_miss) {
+            ++stats_.l3_misses;
+        }
+        latency = std::max(latency, r.latency);
+    }
+
+    // Stores retire promptly but occupy the store buffer until the line
+    // is written; a full SB blocks dispatch (space reserved above).
+    const uint64_t drain_time = cur_cycle_ + latency;
+    const uint64_t drain_monotone = std::max(drain_time, sb_last_drain_);
+    sb_last_drain_ = drain_monotone;
+    if (!sb_.empty() && sb_.back().time == drain_monotone) {
+        sb_.back().count += 1;
+    } else {
+        sb_.push_back({drain_monotone, 1, true});
+    }
+    ++sb_count_;
+
+    robPush(cur_cycle_ + 1, 1, false);
+    rsPush(cur_cycle_ + 1, 1, false);
+    dispatch(1);
+}
+
+CoreStats
+CoreModel::finish()
+{
+    VT_ASSERT(!finished_, "finish() called twice");
+    finished_ = true;
+
+    // Let the machine drain: run the clock to the last retirement.
+    uint64_t end = std::max(cur_cycle_, fetch_ready_);
+    if (!rob_.empty()) {
+        end = std::max(end, rob_.back().time);
+    }
+    if (!sb_.empty()) {
+        end = std::max(end, sb_.back().time);
+    }
+    if (slots_in_cycle_ > 0) {
+        // Fill the partial cycle's leftover slots as backend-core.
+        stats_.slots_backend_core += params_.width - slots_in_cycle_;
+        ++cur_cycle_;
+        slots_in_cycle_ = 0;
+    }
+    advanceTo(end, StallCause::BackendMemory);
+
+    stats_.cycles = cur_cycle_;
+    stats_.slots_total =
+        stats_.cycles * static_cast<uint64_t>(params_.width);
+    return stats_;
+}
+
+} // namespace vtrans::uarch

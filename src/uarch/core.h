@@ -1,0 +1,234 @@
+#ifndef VTRANS_UARCH_CORE_H_
+#define VTRANS_UARCH_CORE_H_
+
+/**
+ * @file
+ * The out-of-order core timing model: an interval-style simulator (the
+ * fidelity class of Sniper, §III-B5) that consumes the probe event stream
+ * and produces cycles, Top-down pipeline-slot breakdown (Yasin's method,
+ * as VTune reports it, §III-B1), and the fine-grained event rates Linux
+ * perf would report (MPKI, resource stalls; §III-B2).
+ *
+ * Model summary: a width-W dispatch front consumes one slot per
+ * instruction; empty slots are attributed to the stall that caused them —
+ * frontend (L1i/iTLB misses, taken-branch redirects), bad speculation
+ * (mispredict flush bubbles), or backend (ROB/RS/SB full, split into
+ * memory-bound and core-bound by the blocking instruction). Loads get
+ * their latency from a functional cache hierarchy; retirement is in-order
+ * via monotone completion times.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/probe.h"
+#include "uarch/branch.h"
+#include "uarch/cache.h"
+#include "uarch/tlb.h"
+
+namespace vtrans::uarch {
+
+/** Full configuration of a simulated core (a Table IV row). */
+struct CoreParams
+{
+    std::string name = "baseline";
+
+    // Pipeline.
+    int width = 4;               ///< Dispatch/issue width (slots/cycle).
+    int rob_size = 128;          ///< Reorder buffer entries.
+    int rs_size = 36;            ///< Reservation station entries.
+    int sb_size = 32;            ///< Store buffer entries.
+    bool issue_at_dispatch = false; ///< be_op2: RS dwell removed.
+    int mshr_entries = 10;       ///< Max outstanding L1d misses (MLP cap).
+    int mispredict_penalty = 12; ///< Refill cycles after branch resolve.
+    int btb_miss_penalty = 3;    ///< Redirect bubble on BTB miss.
+    int taken_bubble = 1;        ///< Redirect bubble on predicted-taken.
+    double freq_ghz = 3.5;       ///< §III: 3.5 GHz Xeon E3.
+
+    // Memory system.
+    CacheParams l1d{32 * 1024, 8, 64};
+    CacheParams l1i{32 * 1024, 8, 64};
+    CacheParams l2{256 * 1024, 8, 64};
+    CacheParams l3{8192 * 1024, 16, 64};
+    uint32_t l4_size = 0;        ///< 0 = no L4 (baseline).
+    uint32_t itlb_entries = 128;
+    LatencyParams latencies;
+
+    // Branch prediction.
+    std::string predictor = "pentium_m";
+};
+
+/** Top-down pipeline-slot breakdown (fractions sum to 1). */
+struct TopDown
+{
+    double retiring = 0.0;
+    double frontend = 0.0;
+    double bad_speculation = 0.0;
+    double backend_memory = 0.0;
+    double backend_core = 0.0;
+
+    double backend() const { return backend_memory + backend_core; }
+};
+
+/** Raw and derived counters of one simulation. */
+struct CoreStats
+{
+    // Raw counters.
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;
+    uint64_t branches = 0;
+    uint64_t branch_mispredicts = 0;
+    uint64_t l1d_accesses = 0;
+    uint64_t l1d_misses = 0;
+    uint64_t l2_misses = 0;   ///< Data-side L2 misses.
+    uint64_t l3_misses = 0;   ///< Data-side L3 misses.
+    uint64_t l1i_accesses = 0;
+    uint64_t l1i_misses = 0;
+    uint64_t itlb_misses = 0;
+    uint64_t btb_misses = 0;
+
+    // Stall slots by cause (units: dispatch slots).
+    uint64_t slots_total = 0;
+    uint64_t slots_retiring = 0;
+    uint64_t slots_frontend = 0;
+    uint64_t slots_bad_spec = 0;
+    uint64_t slots_backend_memory = 0;
+    uint64_t slots_backend_core = 0;
+
+    // Resource-specific stall slots (subset of backend slots).
+    uint64_t slots_rob_stall = 0;
+    uint64_t slots_rs_stall = 0;
+    uint64_t slots_sb_stall = 0;
+
+    int width = 4;
+    double freq_ghz = 3.5;
+
+    // Derived metrics.
+    double ipc() const;
+    double seconds() const;
+    double branchMpki() const;
+    double l1dMpki() const;
+    double l2Mpki() const;
+    double l3Mpki() const;
+    double l1iMpki() const;
+    TopDown topdown() const;
+    /** Resource stall cycles per kilo-instruction. */
+    double robStallsPki() const;
+    double rsStallsPki() const;
+    double sbStallsPki() const;
+    double anyResourceStallsPki() const;
+};
+
+/**
+ * The core model; attach with trace::setSink(&model), run the workload,
+ * then call finish().
+ */
+class CoreModel : public trace::ProbeSink
+{
+  public:
+    explicit CoreModel(const CoreParams& params);
+
+    // ProbeSink interface.
+    void onBlock(const trace::CodeSite& site) override;
+    void onBranch(const trace::CodeSite& site, bool taken) override;
+    void onLoad(uint64_t addr, uint32_t bytes) override;
+    void onStore(uint64_t addr, uint32_t bytes) override;
+
+    /** Finalizes accounting and returns the statistics. */
+    CoreStats finish();
+
+    const CoreParams& params() const { return params_; }
+
+  private:
+    enum class StallCause : uint8_t
+    {
+        Frontend,
+        BadSpeculation,
+        BackendMemory,
+        BackendCore,
+    };
+
+    /** Advances dispatch to `target_cycle`, attributing empty slots. */
+    void advanceTo(uint64_t target_cycle, StallCause cause);
+
+    /** Dispatches `count` retiring instructions (handles cycle rollover
+     *  and frontend-availability stalls). */
+    void dispatch(uint32_t count);
+
+    /** Stalls dispatch until the frontend has instructions available. */
+    void resolveFrontend();
+
+    /** Stalls dispatch until the window has room for `count` entries. */
+    void ensureRobSpace(uint32_t count);
+    void ensureRsSpace(uint32_t count);
+    void ensureSbSpace(uint32_t count);
+
+    /** Pushes `count` instructions completing at `complete` into the ROB
+     *  (space must have been ensured). */
+    void robPush(uint64_t complete, uint32_t count, bool is_mem);
+
+    /** Pushes an RS entry freed at `free` (space must have been ensured). */
+    void rsPush(uint64_t free, uint32_t count, bool is_mem);
+
+    /** Frees entries whose time has passed. */
+    void drain();
+
+    uint64_t now() const { return cur_cycle_; }
+
+    CoreParams params_;
+    CacheHierarchy caches_;
+    Tlb itlb_;
+    std::unique_ptr<BranchPredictor> predictor_;
+    Btb btb_;
+
+    struct WindowEntry
+    {
+        uint64_t time;   ///< Retire/issue/drain cycle.
+        uint32_t count;  ///< Instructions coalesced into this entry.
+        bool is_mem;     ///< Blocking on memory (stall attribution).
+    };
+
+    // Dispatch state.
+    uint64_t cur_cycle_ = 0;
+    uint32_t slots_in_cycle_ = 0;
+
+    // Frontend availability.
+    uint64_t fetch_ready_ = 0;
+    StallCause fetch_reason_ = StallCause::Frontend;
+
+    // Window occupancy.
+    std::deque<WindowEntry> rob_;
+    std::deque<WindowEntry> rs_;
+    std::deque<WindowEntry> sb_;
+    uint64_t rob_count_ = 0;
+    uint64_t rs_count_ = 0;
+    uint64_t sb_count_ = 0;
+    uint64_t rob_last_complete_ = 0;
+    uint64_t rs_last_free_ = 0;
+    uint64_t sb_last_drain_ = 0;
+
+    uint64_t last_load_complete_ = 0;
+    std::deque<uint64_t> mshr_;  ///< Completion times of in-flight misses.
+
+    CoreStats stats_;
+    bool finished_ = false;
+};
+
+/** Runs a callable under this core model and returns its stats. */
+template <typename Workload>
+CoreStats
+simulate(const CoreParams& params, Workload&& workload)
+{
+    CoreModel model(params);
+    trace::setSink(&model);
+    workload();
+    trace::setSink(nullptr);
+    return model.finish();
+}
+
+} // namespace vtrans::uarch
+
+#endif // VTRANS_UARCH_CORE_H_

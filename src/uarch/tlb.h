@@ -1,0 +1,98 @@
+#ifndef VTRANS_UARCH_TLB_H_
+#define VTRANS_UARCH_TLB_H_
+
+/**
+ * @file
+ * A set-associative TLB model (4-way, LRU, 4 KiB pages) — the practical
+ * approximation of the fully-associative structures real cores use.
+ * Table IV's fe_op doubles the iTLB from 128 to 256 entries.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vtrans::uarch {
+
+/** 4-way set-associative LRU TLB over 4 KiB pages. */
+class Tlb
+{
+  public:
+    static constexpr uint32_t kWays = 4;
+
+    explicit Tlb(uint32_t entries) : entries_(entries)
+    {
+        VT_ASSERT(entries % kWays == 0, "TLB entries must be a multiple of ",
+                  kWays);
+        sets_ = entries / kWays;
+        VT_ASSERT((sets_ & (sets_ - 1)) == 0, "TLB set count must be 2^k");
+        slots_.resize(entries);
+    }
+
+    /** Looks up the page of `addr`, filling on miss. @return hit? */
+    bool
+    access(uint64_t addr)
+    {
+        ++accesses_;
+        ++tick_;
+        const uint64_t page = addr >> 12;
+        const uint32_t set = static_cast<uint32_t>(page & (sets_ - 1));
+        Entry* base = &slots_[static_cast<size_t>(set) * kWays];
+        for (uint32_t w = 0; w < kWays; ++w) {
+            if (base[w].valid && base[w].page == page) {
+                base[w].lru = tick_;
+                return true;
+            }
+        }
+        ++misses_;
+        Entry* victim = base;
+        for (uint32_t w = 0; w < kWays; ++w) {
+            if (!base[w].valid) {
+                victim = &base[w];
+                break;
+            }
+            if (base[w].lru < victim->lru) {
+                victim = &base[w];
+            }
+        }
+        victim->valid = true;
+        victim->page = page;
+        victim->lru = tick_;
+        return false;
+    }
+
+    void
+    reset()
+    {
+        for (auto& e : slots_) {
+            e.valid = false;
+        }
+        tick_ = 0;
+        accesses_ = 0;
+        misses_ = 0;
+    }
+
+    uint64_t accesses() const { return accesses_; }
+    uint64_t misses() const { return misses_; }
+    uint32_t entries() const { return entries_; }
+
+  private:
+    struct Entry
+    {
+        uint64_t page = 0;
+        uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    uint32_t entries_;
+    uint32_t sets_;
+    std::vector<Entry> slots_;
+    uint64_t tick_ = 0;
+    uint64_t accesses_ = 0;
+    uint64_t misses_ = 0;
+};
+
+} // namespace vtrans::uarch
+
+#endif // VTRANS_UARCH_TLB_H_

@@ -1,0 +1,87 @@
+#ifndef VTRANS_VIDEO_GENERATE_H_
+#define VTRANS_VIDEO_GENERATE_H_
+
+/**
+ * @file
+ * Synthetic video synthesis. Stands in for the actual vbench clips (which
+ * are not redistributable and not available offline) by generating content
+ * whose complexity knobs — motion magnitude, scene-cut frequency, spatial
+ * detail, and sensor noise — are driven by the vbench entropy value of
+ * each VideoSpec. See DESIGN.md §2 for the substitution argument.
+ */
+
+#include <vector>
+
+#include "common/rng.h"
+#include "video/frame.h"
+#include "video/spec.h"
+
+namespace vtrans::video {
+
+/**
+ * Generates the frames of a clip, deterministically from spec.seed.
+ *
+ * Content model: a textured panning background, a population of moving
+ * textured objects, per-pixel noise, and Bernoulli scene cuts that
+ * re-randomize the scene. All rates scale with spec.entropy so that
+ * low-entropy specs ("desktop") are near-static and clean while
+ * high-entropy specs ("hall", "holi") have fast motion, frequent cuts and
+ * heavy texture.
+ */
+class Generator
+{
+  public:
+    /** Prepares the scene for frame 0. */
+    explicit Generator(const VideoSpec& spec);
+
+    /** Renders the next frame of the clip. */
+    void renderNext(Frame& frame);
+
+    /** Frames rendered so far. */
+    int framesRendered() const { return frame_index_; }
+
+    /** True if the previous renderNext() started a new scene. */
+    bool lastFrameWasSceneCut() const { return last_was_cut_; }
+
+  private:
+    struct Object
+    {
+        double x, y;        ///< Top-left position (can be off-screen).
+        double vx, vy;      ///< Velocity in pixels/frame.
+        int w, h;           ///< Size in pixels.
+        int luma;           ///< Base luma.
+        int cb, cr;         ///< Chroma.
+        double tex_freq;    ///< Texture spatial frequency.
+        double tex_phase;   ///< Texture phase (animates for shimmer).
+        double phase_rate;  ///< Phase change per frame.
+    };
+
+    void newScene();
+    void stepScene();
+    void renderInto(Frame& frame);
+
+    VideoSpec spec_;
+    Rng rng_;
+    int frame_index_ = 0;
+    bool last_was_cut_ = false;
+
+    // Scene state.
+    double bg_phase_x_ = 0.0;
+    double bg_phase_y_ = 0.0;
+    double bg_vel_x_ = 0.0;
+    double bg_vel_y_ = 0.0;
+    double bg_freq_ = 0.05;
+    int bg_luma_ = 128;
+    int bg_cb_ = 128;
+    int bg_cr_ = 128;
+    std::vector<Object> objects_;
+    double noise_sigma_ = 0.0;
+    double cut_probability_ = 0.0;
+};
+
+/** Convenience helper: generates all frames of the clip. */
+std::vector<Frame> generateVideo(const VideoSpec& spec);
+
+} // namespace vtrans::video
+
+#endif // VTRANS_VIDEO_GENERATE_H_

@@ -1,0 +1,75 @@
+#include "video/quality.h"
+
+#include <cmath>
+
+#include "common/status.h"
+
+namespace vtrans::video {
+
+double
+planeMse(const Frame& a, const Frame& b, Plane p)
+{
+    VT_ASSERT(a.width() == b.width() && a.height() == b.height(),
+              "PSNR operands must have identical geometry");
+    const uint8_t* pa = a.data(p);
+    const uint8_t* pb = b.data(p);
+    const size_t n =
+        static_cast<size_t>(a.stride(p)) * a.planeHeight(p);
+    uint64_t sum = 0;
+    for (size_t i = 0; i < n; ++i) {
+        const int d = static_cast<int>(pa[i]) - static_cast<int>(pb[i]);
+        sum += static_cast<uint64_t>(d) * d;
+    }
+    return static_cast<double>(sum) / static_cast<double>(n);
+}
+
+double
+framePsnr(const Frame& a, const Frame& b)
+{
+    const double mse_y = planeMse(a, b, Plane::Y);
+    const double mse_cb = planeMse(a, b, Plane::Cb);
+    const double mse_cr = planeMse(a, b, Plane::Cr);
+    const double mse = (4.0 * mse_y + mse_cb + mse_cr) / 6.0;
+    if (mse < 1e-9) {
+        return 99.0;
+    }
+    return std::min(99.0, 10.0 * std::log10(255.0 * 255.0 / mse));
+}
+
+double
+sequencePsnr(const std::vector<Frame>& a, const std::vector<Frame>& b)
+{
+    VT_ASSERT(a.size() == b.size() && !a.empty(),
+              "sequences must be non-empty and equal length");
+    double total = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        total += framePsnr(a[i], b[i]);
+    }
+    return total / static_cast<double>(a.size());
+}
+
+double
+spatialComplexity(const Frame& frame)
+{
+    const int bw = frame.width() / 16;
+    const int bh = frame.height() / 16;
+    double total = 0.0;
+    for (int by = 0; by < bh; ++by) {
+        for (int bx = 0; bx < bw; ++bx) {
+            int64_t sum = 0;
+            int64_t sq = 0;
+            for (int y = 0; y < 16; ++y) {
+                for (int x = 0; x < 16; ++x) {
+                    const int v = frame.at(Plane::Y, bx * 16 + x, by * 16 + y);
+                    sum += v;
+                    sq += static_cast<int64_t>(v) * v;
+                }
+            }
+            const double mean = sum / 256.0;
+            total += sq / 256.0 - mean * mean;
+        }
+    }
+    return total / (bw * bh);
+}
+
+} // namespace vtrans::video

@@ -1,0 +1,37 @@
+#ifndef VTRANS_VIDEO_QUALITY_H_
+#define VTRANS_VIDEO_QUALITY_H_
+
+/**
+ * @file
+ * Objective quality metrics for transcoded video: MSE and PSNR, the
+ * quality axis of the paper's speed/quality/size triangle (Fig 2).
+ */
+
+#include <vector>
+
+#include "video/frame.h"
+
+namespace vtrans::video {
+
+/** Mean squared error between two planes of equal geometry. */
+double planeMse(const Frame& a, const Frame& b, Plane p);
+
+/**
+ * Frame PSNR in dB over all three planes (weighted 4:1:1 like YUV420
+ * sample counts). Identical frames return 99 dB (capped, like x264).
+ */
+double framePsnr(const Frame& a, const Frame& b);
+
+/** Average PSNR across a pair of equal-length frame sequences. */
+double sequencePsnr(const std::vector<Frame>& a, const std::vector<Frame>& b);
+
+/**
+ * Average luma sample variance per 16x16 block — a cheap spatial
+ * complexity measure used by adaptive quantization and for sanity checks
+ * that generated entropy ordering is monotone.
+ */
+double spatialComplexity(const Frame& frame);
+
+} // namespace vtrans::video
+
+#endif // VTRANS_VIDEO_QUALITY_H_

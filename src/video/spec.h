@@ -1,0 +1,44 @@
+#ifndef VTRANS_VIDEO_SPEC_H_
+#define VTRANS_VIDEO_SPEC_H_
+
+/**
+ * @file
+ * Video workload descriptors. A VideoSpec carries everything the synthetic
+ * generator needs to produce a clip whose complexity profile matches one
+ * row of the paper's Table I (the vbench corpus).
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace vtrans::video {
+
+/**
+ * Describes a video clip: identity, geometry, duration, and complexity.
+ *
+ * `entropy` follows vbench's definition — the bits needed for visually
+ * lossless encoding, a proxy for motion, scene transitions and detail. It
+ * parameterizes the synthetic content model (higher entropy => faster
+ * motion, more frequent scene cuts, more texture and noise).
+ */
+struct VideoSpec
+{
+    std::string name;        ///< Short name, e.g. "cricket".
+    std::string resolution_class; ///< Paper's class, e.g. "720p".
+    int width = 0;           ///< Scaled luma width (multiple of 16).
+    int height = 0;          ///< Scaled luma height (multiple of 16).
+    int fps = 30;            ///< Frames per second.
+    double seconds = 5.0;    ///< Clip duration (vbench clips are 5 s).
+    double entropy = 1.0;    ///< vbench entropy (0.2 .. 7.7).
+    uint64_t seed = 1;       ///< Content seed (derived from name).
+
+    /** Total frame count of the clip. */
+    int frames() const { return static_cast<int>(seconds * fps + 0.5); }
+
+    /** Macroblocks per frame. */
+    int macroblocks() const { return (width / 16) * (height / 16); }
+};
+
+} // namespace vtrans::video
+
+#endif // VTRANS_VIDEO_SPEC_H_

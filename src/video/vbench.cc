@@ -1,0 +1,108 @@
+#include "video/vbench.h"
+
+#include "common/status.h"
+
+namespace vtrans::video {
+
+namespace {
+
+/** FNV-1a hash of a name, used as the deterministic content seed. */
+uint64_t
+nameSeed(const std::string& name)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (char c : name) {
+        h ^= static_cast<uint8_t>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h | 1;
+}
+
+VideoSpec
+makeSpec(const std::string& name, const std::string& res_class, int fps,
+         double entropy)
+{
+    VideoSpec spec;
+    spec.name = name;
+    spec.resolution_class = res_class;
+    auto [w, h] = scaledResolution(res_class);
+    spec.width = w;
+    spec.height = h;
+    spec.fps = fps;
+    spec.seconds = 5.0;
+    spec.entropy = entropy;
+    spec.seed = nameSeed(name);
+    return spec;
+}
+
+} // namespace
+
+std::pair<int, int>
+scaledResolution(const std::string& resolution_class)
+{
+    // 1/12 scale of the paper's resolutions, rounded to whole macroblocks.
+    // 854x480 -> 80x48, 1280x720 -> 112x64, 1920x1080 -> 160x96,
+    // 3840x2160 -> 320x176. MB-count ratios (15:28:60:220) track the
+    // paper's pixel-count ratios (1:2.2:5.1:20.3).
+    if (resolution_class == "480p") {
+        return {80, 48};
+    }
+    if (resolution_class == "720p") {
+        return {112, 64};
+    }
+    if (resolution_class == "1080p") {
+        return {160, 96};
+    }
+    if (resolution_class == "2160p") {
+        return {320, 176};
+    }
+    VT_FATAL("unknown resolution class: ", resolution_class);
+}
+
+const std::vector<VideoSpec>&
+vbenchCorpus()
+{
+    // Table I of the paper: short name, resolution class, FPS, entropy.
+    static const std::vector<VideoSpec> corpus = {
+        makeSpec("desktop", "720p", 30, 0.2),
+        makeSpec("presentation", "1080p", 25, 0.2),
+        makeSpec("bike", "720p", 29, 0.9),
+        makeSpec("funny", "1080p", 30, 2.5),
+        makeSpec("cricket", "720p", 30, 3.4),
+        makeSpec("house", "1080p", 30, 3.6),
+        makeSpec("game1", "1080p", 60, 4.6),
+        makeSpec("game2", "720p", 30, 4.9),
+        makeSpec("girl", "720p", 30, 5.9),
+        makeSpec("chicken", "2160p", 30, 5.9),
+        makeSpec("game3", "720p", 59, 6.1),
+        makeSpec("cat", "480p", 29, 6.8),
+        makeSpec("holi", "480p", 30, 7.0),
+        makeSpec("landscape", "1080p", 29, 7.2),
+        makeSpec("hall", "1080p", 29, 7.7),
+    };
+    return corpus;
+}
+
+const VideoSpec&
+bigBuckBunny()
+{
+    static const VideoSpec spec = makeSpec("bbb", "1080p", 30, 3.0);
+    return spec;
+}
+
+const VideoSpec&
+findVideo(const std::string& name)
+{
+    for (const auto& spec : vbenchCorpus()) {
+        if (spec.name == name) {
+            return spec;
+        }
+    }
+    if (name == bigBuckBunny().name) {
+        return bigBuckBunny();
+    }
+    VT_FATAL("unknown video: ", name,
+             " (known: vbench corpus short names and 'bbb')");
+}
+
+} // namespace vtrans::video

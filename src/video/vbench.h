@@ -1,0 +1,37 @@
+#ifndef VTRANS_VIDEO_VBENCH_H_
+#define VTRANS_VIDEO_VBENCH_H_
+
+/**
+ * @file
+ * The scaled vbench corpus (paper Table I) plus Big Buck Bunny.
+ *
+ * The paper profiles all 15 vbench videos; each is 5 seconds long. We keep
+ * the names, frame rates, entropy values, and resolution *classes* of
+ * Table I, but generate content at 1/12-scale resolutions so full
+ * cycle-accounted sweeps are tractable (DESIGN.md §5). Relative macroblock
+ * counts between resolution classes are preserved.
+ */
+
+#include <vector>
+
+#include "video/spec.h"
+
+namespace vtrans::video {
+
+/** Returns the 15 vbench video specs in Table I order (entropy ascending
+ *  within the table's listing). */
+const std::vector<VideoSpec>& vbenchCorpus();
+
+/** Returns the Big Buck Bunny spec studied alongside vbench. */
+const VideoSpec& bigBuckBunny();
+
+/** Finds a corpus video by short name; fatal error if unknown. */
+const VideoSpec& findVideo(const std::string& name);
+
+/** Scaled pixel dimensions for a paper resolution class ("480p".."2160p").
+ *  Returns {width, height}, both multiples of 16. */
+std::pair<int, int> scaledResolution(const std::string& resolution_class);
+
+} // namespace vtrans::video
+
+#endif // VTRANS_VIDEO_VBENCH_H_

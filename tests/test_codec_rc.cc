@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Rate-control tests covering all six modes of paper §II-B1 plus adaptive
+ * quantization, and their end-to-end effect through the encoder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codec/decoder.h"
+#include "codec/encoder.h"
+#include "codec/params.h"
+#include "codec/ratecontrol.h"
+#include "video/generate.h"
+#include "video/quality.h"
+
+namespace vtrans {
+namespace {
+
+using codec::Encoder;
+using codec::EncoderParams;
+using codec::FrameType;
+using codec::RateControl;
+using codec::RateController;
+using video::VideoSpec;
+
+VideoSpec
+clipSpec(int frames = 20, double entropy = 3.0)
+{
+    VideoSpec spec;
+    spec.name = "rcclip";
+    spec.width = 64;
+    spec.height = 48;
+    spec.fps = 30;
+    spec.seconds = frames / 30.0;
+    spec.entropy = entropy;
+    spec.seed = 321;
+    return spec;
+}
+
+TEST(RateController, CqpIsConstantPerType)
+{
+    EncoderParams p = codec::presetParams("medium");
+    p.rc = RateControl::CQP;
+    p.qp = 30;
+    p.aq_mode = 0;
+    RateController rc(p, 30.0, 12, 100);
+    const int qp_i = rc.startFrame(FrameType::I, 1000.0);
+    rc.endFrame(500);
+    const int qp_p = rc.startFrame(FrameType::P, 1000.0);
+    rc.endFrame(500);
+    const int qp_b = rc.startFrame(FrameType::B, 1000.0);
+    EXPECT_LT(qp_i, qp_p) << "I frames get finer quantization";
+    EXPECT_GT(qp_b, qp_p) << "B frames get coarser quantization";
+    EXPECT_EQ(qp_p, 30);
+}
+
+TEST(RateController, CrfTracksComplexity)
+{
+    EncoderParams p = codec::presetParams("medium");
+    p.rc = RateControl::CRF;
+    p.crf = 23;
+    p.aq_mode = 0;
+    RateController rc(p, 30.0, 12, 100);
+    // Warm up the complexity average.
+    for (int i = 0; i < 10; ++i) {
+        rc.startFrame(FrameType::P, 1000.0);
+        rc.endFrame(1000);
+    }
+    const int easy = rc.startFrame(FrameType::P, 200.0);
+    rc.endFrame(1000);
+    // Restore the average before the hard frame.
+    for (int i = 0; i < 10; ++i) {
+        rc.startFrame(FrameType::P, 1000.0);
+        rc.endFrame(1000);
+    }
+    const int hard = rc.startFrame(FrameType::P, 5000.0);
+    EXPECT_LT(easy, hard)
+        << "complex frames must get coarser quantization under CRF";
+}
+
+TEST(RateController, AbrFeedbackRaisesQpWhenOverBudget)
+{
+    EncoderParams p = codec::presetParams("medium");
+    p.rc = RateControl::ABR;
+    p.bitrate_kbps = 300.0;
+    p.aq_mode = 0;
+    RateController rc(p, 30.0, 12, 100);
+    const int qp0 = rc.startFrame(FrameType::P, 1000.0);
+    // Report 10x over budget for several frames.
+    for (int i = 0; i < 5; ++i) {
+        rc.endFrame(static_cast<uint64_t>(300.0 * 1000 / 30 * 10));
+        rc.startFrame(FrameType::P, 1000.0);
+    }
+    const int qp_over = rc.startFrame(FrameType::P, 1000.0);
+    EXPECT_GT(qp_over, qp0);
+}
+
+TEST(RateController, MbQpAdaptiveQuantizationSpreads)
+{
+    EncoderParams p = codec::presetParams("medium");
+    p.rc = RateControl::CQP;
+    p.qp = 26;
+    p.aq_mode = 1;
+    p.aq_strength = 1.0;
+    RateController rc(p, 30.0, 100, 10);
+    rc.startFrame(FrameType::P, 1000.0);
+    const int flat = rc.mbQp(0, 0, 4.0);
+    const int textured = rc.mbQp(1, 0, 4000.0);
+    EXPECT_LT(flat, textured)
+        << "AQ gives flat blocks finer quantization";
+}
+
+TEST(RateController, VbvTracksBufferAndCountsViolations)
+{
+    EncoderParams p = codec::presetParams("medium");
+    p.rc = RateControl::VBV;
+    p.crf = 23;
+    p.vbv_maxrate_kbps = 100.0;
+    p.vbv_buffer_kbits = 50.0;
+    p.aq_mode = 0;
+    RateController rc(p, 30.0, 12, 100);
+    rc.startFrame(FrameType::P, 1000.0);
+    // A frame far larger than the buffer must register a violation.
+    rc.endFrame(200000);
+    EXPECT_EQ(rc.vbvViolations(), 1);
+    // And subsequent frames should see higher QP from buffer pressure.
+    const int qp_pressured = rc.startFrame(FrameType::P, 1000.0);
+    EXPECT_GT(qp_pressured, p.crf);
+}
+
+// ---- End-to-end bitrate behaviour ----------------------------------------
+
+double
+encodeAtBitrate(RateControl mode, double kbps, uint64_t* bits_out)
+{
+    const VideoSpec spec = clipSpec(30);
+    const auto frames = video::generateVideo(spec);
+    EncoderParams p = codec::presetParams("medium");
+    p.rc = mode;
+    p.bitrate_kbps = kbps;
+    Encoder enc(p, spec.fps);
+    codec::EncodeStats stats;
+    enc.encode(frames, &stats);
+    if (bits_out != nullptr) {
+        *bits_out = stats.total_bits;
+    }
+    return stats.bitrate_kbps;
+}
+
+TEST(RateControlE2E, AbrApproachesTarget)
+{
+    uint64_t bits = 0;
+    const double achieved = encodeAtBitrate(RateControl::ABR, 400.0, &bits);
+    EXPECT_GT(achieved, 400.0 * 0.4);
+    EXPECT_LT(achieved, 400.0 * 2.5);
+}
+
+TEST(RateControlE2E, TwoPassTracksTargetTighterThanAbr)
+{
+    uint64_t b1 = 0;
+    uint64_t b2 = 0;
+    const double abr = encodeAtBitrate(RateControl::ABR, 400.0, &b1);
+    const double two = encodeAtBitrate(RateControl::TwoPass, 400.0, &b2);
+    const double abr_err = std::abs(abr - 400.0);
+    const double two_err = std::abs(two - 400.0);
+    // Two-pass should not be dramatically worse than single-pass ABR.
+    EXPECT_LT(two_err, abr_err * 2.0 + 120.0);
+}
+
+TEST(RateControlE2E, CbrHoldsFrameSizesSteadier)
+{
+    const VideoSpec spec = clipSpec(30, 6.0);
+    const auto frames = video::generateVideo(spec);
+
+    auto frameSizeCv = [&](RateControl mode) {
+        EncoderParams p = codec::presetParams("medium");
+        p.rc = mode;
+        p.bitrate_kbps = 500.0;
+        p.bframes = 0;
+        Encoder enc(p, spec.fps);
+        codec::EncodeStats stats;
+        enc.encode(frames, &stats);
+        double mean = 0.0;
+        for (const auto& f : stats.frames) {
+            mean += static_cast<double>(f.bits);
+        }
+        mean /= stats.frames.size();
+        double var = 0.0;
+        for (const auto& f : stats.frames) {
+            var += (f.bits - mean) * (f.bits - mean);
+        }
+        var /= stats.frames.size();
+        return std::sqrt(var) / mean;
+    };
+
+    // CBR adapts QP inside the frame; its per-frame size spread should not
+    // exceed plain ABR's by much (usually it is tighter).
+    EXPECT_LT(frameSizeCv(RateControl::CBR),
+              frameSizeCv(RateControl::ABR) * 1.5);
+}
+
+TEST(RateControlE2E, CqpDecodesFine)
+{
+    const VideoSpec spec = clipSpec(12);
+    const auto frames = video::generateVideo(spec);
+    EncoderParams p = codec::presetParams("medium");
+    p.rc = RateControl::CQP;
+    p.qp = 28;
+    Encoder enc(p, spec.fps);
+    const auto stream = enc.encode(frames);
+    const auto decoded = codec::decode(stream);
+    ASSERT_EQ(decoded.frames.size(), frames.size());
+    EXPECT_GT(video::sequencePsnr(frames, decoded.frames), 26.0);
+}
+
+TEST(RateControlE2E, VbvLimitsPeakBitrate)
+{
+    const VideoSpec spec = clipSpec(30, 7.0);
+    const auto frames = video::generateVideo(spec);
+    EncoderParams p = codec::presetParams("medium");
+    p.rc = RateControl::VBV;
+    p.crf = 10; // would be huge without the cap
+    p.vbv_maxrate_kbps = 300.0;
+    p.vbv_buffer_kbits = 150.0;
+    Encoder enc(p, spec.fps);
+    codec::EncodeStats vbv_stats;
+    enc.encode(frames, &vbv_stats);
+
+    EncoderParams p_free = codec::presetParams("medium");
+    p_free.rc = RateControl::CRF;
+    p_free.crf = 10;
+    Encoder enc_free(p_free, spec.fps);
+    codec::EncodeStats free_stats;
+    enc_free.encode(frames, &free_stats);
+
+    EXPECT_LT(vbv_stats.total_bits, free_stats.total_bits)
+        << "VBV cap must bite at crf 10";
+}
+
+} // namespace
+} // namespace vtrans

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Encoder/decoder agreement: the defining invariant of the codec. For any
+ * parameter set, decode(encode(video)) must reproduce the encoder's
+ * reference reconstruction exactly (same prediction + residual paths), and
+ * quality/size must move the right way when crf moves.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codec/decoder.h"
+#include "codec/encoder.h"
+#include "codec/params.h"
+#include "video/generate.h"
+#include "video/quality.h"
+
+namespace vtrans {
+namespace {
+
+using codec::Encoder;
+using codec::EncoderParams;
+using video::Frame;
+using video::VideoSpec;
+
+VideoSpec
+tinySpec(double entropy, int frames = 10)
+{
+    VideoSpec spec;
+    spec.name = "tiny";
+    spec.resolution_class = "test";
+    spec.width = 48;
+    spec.height = 32;
+    spec.fps = 30;
+    spec.seconds = static_cast<double>(frames) / 30.0;
+    spec.entropy = entropy;
+    spec.seed = 1234;
+    return spec;
+}
+
+/** Decoded output must be a faithful (lossy) reconstruction: finite,
+ *  correct geometry, correct frame count, PSNR sane. */
+void
+checkRoundtrip(const EncoderParams& params, double entropy,
+               double min_psnr)
+{
+    const VideoSpec spec = tinySpec(entropy);
+    const auto frames = video::generateVideo(spec);
+
+    Encoder encoder(params, spec.fps);
+    codec::EncodeStats stats;
+    const auto stream = encoder.encode(frames, &stats);
+    ASSERT_FALSE(stream.empty());
+
+    const auto decoded = codec::decode(stream);
+    ASSERT_EQ(decoded.width, spec.width);
+    ASSERT_EQ(decoded.height, spec.height);
+    ASSERT_EQ(decoded.frames.size(), frames.size());
+
+    const double psnr = video::sequencePsnr(frames, decoded.frames);
+    EXPECT_GT(psnr, min_psnr) << "decode quality collapsed";
+    // Encoder's internal reconstruction PSNR must match what the decoder
+    // actually produces (bit-exact recon loop) to within averaging noise.
+    EXPECT_NEAR(psnr, stats.psnr, 0.75)
+        << "encoder reconstruction diverges from decoder output";
+}
+
+TEST(Roundtrip, MediumPresetDefault)
+{
+    checkRoundtrip(codec::presetParams("medium"), 3.0, 28.0);
+}
+
+TEST(Roundtrip, UltrafastNoBframesNoDeblock)
+{
+    checkRoundtrip(codec::presetParams("ultrafast"), 3.0, 27.0);
+}
+
+TEST(Roundtrip, SlowerUmhTrellis2)
+{
+    checkRoundtrip(codec::presetParams("slower"), 3.0, 28.0);
+}
+
+TEST(Roundtrip, HighCrfLowQuality)
+{
+    EncoderParams p = codec::presetParams("medium");
+    p.crf = 45;
+    checkRoundtrip(p, 3.0, 18.0);
+}
+
+TEST(Roundtrip, LowCrfHighQuality)
+{
+    EncoderParams p = codec::presetParams("medium");
+    p.crf = 5;
+    checkRoundtrip(p, 3.0, 38.0);
+}
+
+TEST(Roundtrip, ManyRefs)
+{
+    EncoderParams p = codec::presetParams("medium");
+    p.refs = 8;
+    checkRoundtrip(p, 5.0, 27.0);
+}
+
+TEST(Roundtrip, HighEntropyContent)
+{
+    checkRoundtrip(codec::presetParams("medium"), 7.5, 24.0);
+}
+
+TEST(Roundtrip, LowEntropyContent)
+{
+    checkRoundtrip(codec::presetParams("medium"), 0.2, 30.0);
+}
+
+TEST(Roundtrip, EsaSearch)
+{
+    EncoderParams p = codec::presetParams("medium");
+    p.me = codec::MeMethod::Esa;
+    p.merange = 8;
+    checkRoundtrip(p, 3.0, 28.0);
+}
+
+TEST(Roundtrip, CrfMonotonicity)
+{
+    // Higher crf must not increase file size and must not improve PSNR.
+    const VideoSpec spec = tinySpec(3.0);
+    const auto frames = video::generateVideo(spec);
+
+    uint64_t prev_bits = UINT64_MAX;
+    double prev_psnr = 1e9;
+    for (int crf : {10, 23, 36, 49}) {
+        EncoderParams p = codec::presetParams("medium");
+        p.crf = crf;
+        Encoder enc(p, spec.fps);
+        codec::EncodeStats stats;
+        enc.encode(frames, &stats);
+        EXPECT_LT(stats.total_bits, prev_bits)
+            << "crf " << crf << " did not shrink the stream";
+        EXPECT_LT(stats.psnr, prev_psnr + 0.2)
+            << "crf " << crf << " unexpectedly improved quality";
+        prev_bits = stats.total_bits;
+        prev_psnr = stats.psnr;
+    }
+}
+
+TEST(Roundtrip, RefsReduceOrKeepSize)
+{
+    // More reference frames expand the search space and should not
+    // meaningfully inflate the stream (paper Fig 4: diminishing returns).
+    const VideoSpec spec = tinySpec(5.0, 16);
+    const auto frames = video::generateVideo(spec);
+
+    EncoderParams p1 = codec::presetParams("medium");
+    p1.refs = 1;
+    EncoderParams p16 = p1;
+    p16.refs = 16;
+
+    codec::EncodeStats s1, s16;
+    Encoder(p1, spec.fps).encode(frames, &s1);
+    Encoder(p16, spec.fps).encode(frames, &s16);
+    EXPECT_LE(s16.total_bits, s1.total_bits * 105 / 100);
+}
+
+TEST(Roundtrip, BframesProduceBTypes)
+{
+    EncoderParams p = codec::presetParams("medium");
+    p.bframes = 3;
+    p.b_adapt = 0;
+
+    const VideoSpec spec = tinySpec(1.0, 13);
+    const auto frames = video::generateVideo(spec);
+    Encoder enc(p, spec.fps);
+    codec::EncodeStats stats;
+    const auto stream = enc.encode(frames, &stats);
+
+    EXPECT_GT(stats.b_frames, 0) << "b_adapt=0 must place B frames";
+    EXPECT_EQ(stats.i_frames + stats.p_frames + stats.b_frames,
+              static_cast<int>(frames.size()));
+
+    const auto decoded = codec::decode(stream);
+    ASSERT_EQ(decoded.frames.size(), frames.size());
+    EXPECT_GT(video::sequencePsnr(frames, decoded.frames), 25.0);
+}
+
+} // namespace
+} // namespace vtrans

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Odds and ends: scheduler calibration, generator scene-cut bookkeeping,
+ * table/heatmap guard rails, and status helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/heatmap.h"
+#include "common/status.h"
+#include "common/table.h"
+#include "sched/scheduler.h"
+#include "video/generate.h"
+#include "video/vbench.h"
+
+namespace vtrans {
+namespace {
+
+TEST(SchedCalibration, ReliefScalesWithMeasuredGain)
+{
+    uarch::TopDown profile;
+    profile.frontend = 0.2;
+    profile.bad_speculation = 0.1;
+    profile.backend_memory = 0.3;
+    profile.backend_core = 0.05;
+
+    // fe_op removed half its target category; bs_op removed none.
+    const auto relief = sched::calibrateRelief(
+        profile, 10.0, {"fe_op", "bs_op"}, {9.0, 10.5});
+    ASSERT_EQ(relief.size(), 2u);
+    EXPECT_NEAR(relief[0], 0.1 / 0.2, 1e-9);
+    EXPECT_DOUBLE_EQ(relief[1], 0.0) << "slower than baseline: no gain";
+}
+
+TEST(Generator, SceneCutFlagAndDeterminism)
+{
+    video::VideoSpec spec = video::findVideo("hall"); // high entropy
+    spec.seconds = 2.0;
+    video::Generator gen(spec);
+    video::Frame frame(spec.width, spec.height);
+    int cuts = 0;
+    for (int i = 0; i < spec.frames(); ++i) {
+        gen.renderNext(frame);
+        cuts += gen.lastFrameWasSceneCut() ? 1 : 0;
+    }
+    // hall has entropy 7.7: expect roughly entropy * (2s / 5s) cuts.
+    EXPECT_GE(cuts, 1);
+    EXPECT_LE(cuts, 10);
+    EXPECT_EQ(gen.framesRendered(), spec.frames());
+
+    // The first frame is never a cut.
+    video::Generator gen2(spec);
+    gen2.renderNext(frame);
+    EXPECT_FALSE(gen2.lastFrameWasSceneCut());
+}
+
+TEST(Generator, LowEntropyRarelyCuts)
+{
+    video::VideoSpec spec = video::findVideo("desktop"); // entropy 0.2
+    spec.seconds = 2.0;
+    video::Generator gen(spec);
+    video::Frame frame(spec.width, spec.height);
+    int cuts = 0;
+    for (int i = 0; i < spec.frames(); ++i) {
+        gen.renderNext(frame);
+        cuts += gen.lastFrameWasSceneCut() ? 1 : 0;
+    }
+    EXPECT_LE(cuts, 1);
+}
+
+TEST(Table, OverflowingRowDies)
+{
+    Table t({"only"});
+    t.beginRow();
+    t.cell(std::string("a"));
+    EXPECT_DEATH(t.cell(std::string("b")), "row wider than header");
+}
+
+TEST(Table, CellBeforeRowDies)
+{
+    Table t({"c"});
+    EXPECT_DEATH(t.cell(std::string("x")), "beginRow");
+}
+
+TEST(Heatmap, SingleCellAndFlatField)
+{
+    Heatmap hm("one", {"r"}, {"c"});
+    hm.set(0, 0, 42.0);
+    EXPECT_EQ(hm.minValue(), 42.0);
+    EXPECT_EQ(hm.maxValue(), 42.0);
+    // A flat field must render without dividing by zero.
+    const std::string out = hm.render();
+    EXPECT_NE(out.find("one"), std::string::npos);
+}
+
+TEST(Heatmap, OutOfRangeDies)
+{
+    Heatmap hm("b", {"r"}, {"c"});
+    EXPECT_DEATH(hm.set(1, 0, 0.0), "out of range");
+}
+
+TEST(Status, VerboseToggle)
+{
+    setVerbose(false);
+    EXPECT_FALSE(verbose());
+    setVerbose(true);
+    EXPECT_TRUE(verbose());
+}
+
+TEST(Vbench, BigBuckBunnyIsFindable)
+{
+    const auto& bbb = video::bigBuckBunny();
+    EXPECT_EQ(bbb.name, "bbb");
+    EXPECT_EQ(video::findVideo("bbb").resolution_class, "1080p");
+    EXPECT_DEATH(video::findVideo("nonexistent"), "unknown video");
+}
+
+} // namespace
+} // namespace vtrans

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests of the probe bus: site registration, default code layout, event
+ * dispatch, polarity inversion, and the simulated-address arena.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "trace/probe.h"
+
+namespace vtrans {
+namespace {
+
+using trace::CodeSite;
+using trace::ProbeSink;
+using trace::SiteKind;
+
+/** Records every event it sees. */
+class RecordingSink : public ProbeSink
+{
+  public:
+    struct Event
+    {
+        char kind;
+        uint64_t a;
+        uint64_t b;
+    };
+    std::vector<Event> events;
+
+    void onBlock(const CodeSite& site) override
+    {
+        events.push_back({'B', site.id, 0});
+    }
+    void onBranch(const CodeSite& site, bool taken) override
+    {
+        events.push_back({'J', site.id, taken ? 1ull : 0ull});
+    }
+    void onLoad(uint64_t addr, uint32_t bytes) override
+    {
+        events.push_back({'L', addr, bytes});
+    }
+    void onStore(uint64_t addr, uint32_t bytes) override
+    {
+        events.push_back({'S', addr, bytes});
+    }
+};
+
+TEST(Probe, NoSinkMeansNoDispatch)
+{
+    trace::setSink(nullptr);
+    VT_SITE(site, "test.nosink", 32, 4, Block);
+    // Must not crash; nothing observable happens.
+    trace::block(site);
+    trace::load(0x1000, 8);
+}
+
+TEST(Probe, EventsReachSink)
+{
+    RecordingSink sink;
+    trace::setSink(&sink);
+    VT_SITE(site, "test.events", 32, 4, Block);
+    VT_SITE(br, "test.events.branch", 8, 1, Branch);
+    trace::block(site);
+    trace::load(0x2000, 16);
+    trace::store(0x3000, 4);
+    trace::branch(br, true);
+    trace::setSink(nullptr);
+
+    ASSERT_EQ(sink.events.size(), 5u); // branch() emits block + branch
+    EXPECT_EQ(sink.events[0].kind, 'B');
+    EXPECT_EQ(sink.events[1].kind, 'L');
+    EXPECT_EQ(sink.events[1].a, 0x2000u);
+    EXPECT_EQ(sink.events[2].kind, 'S');
+    EXPECT_EQ(sink.events[3].kind, 'B');
+    EXPECT_EQ(sink.events[4].kind, 'J');
+    EXPECT_EQ(sink.events[4].b, 1u);
+}
+
+TEST(Probe, BranchPolarityInversion)
+{
+    RecordingSink sink;
+    VT_SITE(br, "test.invert", 8, 1, Branch);
+    br.invert = false;
+    trace::setSink(&sink);
+    trace::branch(br, true);
+    br.invert = true;
+    trace::branch(br, true);
+    trace::setSink(nullptr);
+    br.invert = false;
+
+    ASSERT_EQ(sink.events.size(), 4u);
+    EXPECT_EQ(sink.events[1].b, 1u) << "uninverted taken";
+    EXPECT_EQ(sink.events[3].b, 0u) << "inverted taken -> not taken";
+}
+
+TEST(Probe, SitesHaveDistinctAddressesWithColdPadding)
+{
+    auto& reg = trace::registry();
+    VT_SITE(a, "test.layout.a", 64, 8, Block);
+    VT_SITE(b, "test.layout.b", 64, 8, Block);
+    EXPECT_NE(a.address, b.address);
+    // Registration order is not guaranteed adjacent (other tests register
+    // sites too), but every site must be inside the default span.
+    EXPECT_GE(a.address, trace::SiteRegistry::kTextBase);
+    EXPECT_LT(a.address + a.bytes,
+              trace::SiteRegistry::kTextBase + reg.defaultSpan());
+}
+
+TEST(Probe, ResetLayoutRestoresDefaults)
+{
+    auto& reg = trace::registry();
+    VT_SITE(a, "test.layoutreset.a", 64, 8, Block);
+    const uint64_t original = a.address;
+    a.address = 0xdead;
+    a.invert = true;
+    reg.resetLayout();
+    // resetLayout re-lays out all sites in registration order; the site
+    // must again live at its original default position.
+    EXPECT_EQ(a.address, original);
+    EXPECT_FALSE(a.invert);
+}
+
+TEST(Arena, SequentialAlignedAllocation)
+{
+    trace::SimArena arena;
+    const uint64_t p1 = arena.alloc(100);
+    const uint64_t p2 = arena.alloc(10);
+    EXPECT_EQ(p1 % 64, 0u);
+    EXPECT_EQ(p2 % 64, 0u);
+    EXPECT_GE(p2, p1 + 100);
+    EXPECT_GT(arena.used(), 0u);
+    arena.reset();
+    EXPECT_EQ(arena.used(), 0u);
+    EXPECT_EQ(arena.alloc(8), trace::SimArena::kHeapBase);
+}
+
+} // namespace
+} // namespace vtrans

@@ -1,0 +1,430 @@
+/**
+ * @file
+ * Tests of the microarchitecture models: caches, TLB, branch predictors,
+ * BTB, the core timing model's stall accounting, and the Table IV
+ * configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "trace/probe.h"
+#include "uarch/branch.h"
+#include "uarch/cache.h"
+#include "uarch/config.h"
+#include "uarch/core.h"
+#include "uarch/tlb.h"
+
+namespace vtrans {
+namespace {
+
+using namespace uarch;
+
+// ---- Cache ---------------------------------------------------------------
+
+TEST(Cache, HitAfterFill)
+{
+    Cache c("t", {1024, 2, 64});
+    EXPECT_FALSE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1001)); // same line
+    EXPECT_EQ(c.accesses(), 3u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, LruEviction)
+{
+    // 2-way, 64B lines, 1024B => 8 sets. Three lines mapping to set 0.
+    Cache c("t", {1024, 2, 64});
+    const uint64_t a = 0 * 8 * 64;      // set 0
+    const uint64_t b = 1 * 8 * 64;      // set 0
+    const uint64_t d = 2 * 8 * 64;      // set 0
+    c.access(a);
+    c.access(b);
+    c.access(a);    // a more recent than b
+    c.access(d);    // evicts b
+    EXPECT_TRUE(c.contains(a));
+    EXPECT_FALSE(c.contains(b));
+    EXPECT_TRUE(c.contains(d));
+}
+
+TEST(Cache, CapacityMissesOnBigWorkingSet)
+{
+    Cache c("t", {32 * 1024, 8, 64});
+    // Touch 64 KiB twice: second pass must still miss (capacity).
+    for (int pass = 0; pass < 2; ++pass) {
+        for (uint64_t addr = 0; addr < 64 * 1024; addr += 64) {
+            c.access(addr);
+        }
+    }
+    EXPECT_GT(c.misses(), 1024u + 512u)
+        << "second pass should keep missing on a 2x working set";
+}
+
+TEST(Cache, FitsWorkingSetAfterWarmup)
+{
+    Cache c("t", {32 * 1024, 8, 64});
+    for (uint64_t addr = 0; addr < 16 * 1024; addr += 64) {
+        c.access(addr);
+    }
+    const uint64_t warm_misses = c.misses();
+    for (uint64_t addr = 0; addr < 16 * 1024; addr += 64) {
+        EXPECT_TRUE(c.access(addr));
+    }
+    EXPECT_EQ(c.misses(), warm_misses);
+}
+
+TEST(Hierarchy, MissFallsThroughLevels)
+{
+    CacheHierarchy h({32768, 8, 64}, {32768, 8, 64}, {262144, 8, 64},
+                     {8388608, 16, 64}, 0, LatencyParams{});
+    const AccessResult cold = h.dataAccess(0x10000);
+    EXPECT_TRUE(cold.l1_miss);
+    EXPECT_TRUE(cold.l2_miss);
+    EXPECT_TRUE(cold.l3_miss);
+    EXPECT_EQ(cold.latency, LatencyParams{}.memory + LatencyParams{}.l1);
+
+    const AccessResult warm = h.dataAccess(0x10000);
+    EXPECT_FALSE(warm.l1_miss);
+    EXPECT_EQ(warm.latency, LatencyParams{}.l1);
+}
+
+TEST(Hierarchy, L4ServicesL3Misses)
+{
+    CacheHierarchy h({32768, 8, 64}, {32768, 8, 64}, {262144, 8, 64},
+                     {1 << 20, 16, 64}, 16 << 20, LatencyParams{});
+    ASSERT_TRUE(h.hasL4());
+    h.dataAccess(0x40000);          // cold fill through all levels
+    // Evict from L1/L2/L3 by sweeping >L3-sized data; L4 keeps it.
+    for (uint64_t a = 1 << 24; a < (1 << 24) + (2 << 20); a += 64) {
+        h.dataAccess(a);
+    }
+    const AccessResult r = h.dataAccess(0x40000);
+    EXPECT_TRUE(r.l3_miss);
+    EXPECT_FALSE(r.l4_miss);
+    EXPECT_EQ(r.latency, LatencyParams{}.l4 + LatencyParams{}.l1);
+}
+
+TEST(Hierarchy, MultiLineAccessTouchesBothLines)
+{
+    CacheHierarchy h({32768, 8, 64}, {32768, 8, 64}, {262144, 8, 64},
+                     {8388608, 16, 64}, 0, LatencyParams{});
+    AccessResult worst;
+    h.dataAccessBytes(60, 8, &worst); // crosses the line boundary at 64
+    EXPECT_TRUE(h.l1d().contains(0));
+    EXPECT_TRUE(h.l1d().contains(64));
+    EXPECT_EQ(h.l1d().accesses(), 2u);
+}
+
+// ---- TLB ----------------------------------------------------------------
+
+TEST(Tlb, HitsSamePage)
+{
+    Tlb tlb(128);
+    EXPECT_FALSE(tlb.access(0x400000));
+    EXPECT_TRUE(tlb.access(0x400abc));
+    EXPECT_FALSE(tlb.access(0x401000)); // next page
+    EXPECT_EQ(tlb.misses(), 2u);
+}
+
+TEST(Tlb, LargerTlbMissesLessOnWideCode)
+{
+    // A code footprint of 192 pages: fits in 256 entries, thrashes 128.
+    auto missesFor = [](uint32_t entries) {
+        Tlb tlb(entries);
+        for (int pass = 0; pass < 4; ++pass) {
+            for (uint64_t page = 0; page < 192; ++page) {
+                tlb.access(0x400000 + page * 4096);
+            }
+        }
+        return tlb.misses();
+    };
+    EXPECT_GT(missesFor(128), missesFor(256) * 2);
+}
+
+// ---- Branch predictors ------------------------------------------------------
+
+TEST(Branch, PentiumMLearnsBias)
+{
+    PentiumMPredictor p;
+    // Warm up a strongly taken branch.
+    for (int i = 0; i < 16; ++i) {
+        p.predict(0x4000);
+        p.update(0x4000, true);
+    }
+    EXPECT_TRUE(p.predict(0x4000));
+}
+
+TEST(Branch, PentiumMLearnsAlternating)
+{
+    PentiumMPredictor p;
+    int correct = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const bool taken = (i & 1) != 0;
+        if (p.predict(0x8000) == taken) {
+            ++correct;
+        }
+        p.update(0x8000, taken);
+    }
+    // The gshare component must capture the period-2 pattern eventually.
+    EXPECT_GT(correct, 1700);
+}
+
+TEST(Branch, TageLearnsLongPattern)
+{
+    TagePredictor tage;
+    PentiumMPredictor pm;
+    // Period-24 pattern: beyond a 12-bit gshare's comfortable reach but
+    // well within TAGE's 44-bit history table.
+    auto pattern = [](int i) { return (i % 24) < 5; };
+    int tage_correct = 0;
+    int pm_correct = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const bool taken = pattern(i);
+        if (tage.predict(0xc000) == taken) {
+            ++tage_correct;
+        }
+        tage.update(0xc000, taken);
+        if (pm.predict(0xc000) == taken) {
+            ++pm_correct;
+        }
+        pm.update(0xc000, taken);
+    }
+    EXPECT_GT(tage_correct, pm_correct)
+        << "TAGE must beat the hybrid on long-period patterns";
+    EXPECT_GT(tage_correct, 17000);
+}
+
+TEST(Branch, TageHandlesRandomGracefully)
+{
+    TagePredictor tage;
+    Rng rng(3);
+    int correct = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const bool taken = rng.chance(0.7);
+        if (tage.predict(0x2000 + (i % 16) * 64) == taken) {
+            ++correct;
+        }
+        tage.update(0x2000 + (i % 16) * 64, taken);
+    }
+    // On a 70% biased random stream, a good predictor approaches 70%.
+    EXPECT_GT(correct, 6000);
+}
+
+TEST(Branch, FactoryRejectsUnknown)
+{
+    EXPECT_DEATH(makePredictor("nonsense"), "unknown branch predictor");
+}
+
+TEST(Btb, CapacityBehaviour)
+{
+    Btb btb(64, 4);
+    for (int pass = 0; pass < 2; ++pass) {
+        for (uint64_t pc = 0; pc < 32; ++pc) {
+            btb.access(0x400000 + pc * 4);
+        }
+    }
+    // 32 distinct branches fit in 64 entries: second pass all hits.
+    EXPECT_EQ(btb.misses(), 32u);
+}
+
+// ---- Core model ------------------------------------------------------------
+
+/** Convenience: run a synthetic event stream against a core. */
+class CoreHarness
+{
+  public:
+    explicit CoreHarness(const CoreParams& p) : model_(p)
+    {
+        trace::setSink(&model_);
+    }
+    ~CoreHarness() { trace::setSink(nullptr); }
+
+    CoreModel& model() { return model_; }
+
+    CoreStats
+    finish()
+    {
+        trace::setSink(nullptr);
+        return model_.finish();
+    }
+
+  private:
+    CoreModel model_;
+};
+
+TEST(Core, AluOnlyIsMostlyRetiring)
+{
+    VT_SITE(site, "coretest.alu", 64, 16, Block);
+    CoreHarness h(baselineConfig());
+    for (int i = 0; i < 10000; ++i) {
+        trace::block(site);
+    }
+    const CoreStats s = h.finish();
+    EXPECT_EQ(s.instructions, 160000u);
+    const TopDown td = s.topdown();
+    EXPECT_GT(td.retiring, 0.95)
+        << "pure ALU code with a tiny footprint should retire ~all slots";
+}
+
+TEST(Core, StreamingLoadsAreMemoryBound)
+{
+    VT_SITE(site, "coretest.stream", 64, 2, Block);
+    CoreHarness h(baselineConfig());
+    uint64_t addr = 0x200000000ull;
+    for (int i = 0; i < 200000; ++i) {
+        trace::block(site);
+        trace::load(addr, 8);
+        addr += 4096; // every load a fresh page: guaranteed misses
+    }
+    const CoreStats s = h.finish();
+    const TopDown td = s.topdown();
+    EXPECT_GT(td.backend(), 0.5)
+        << "a pure pointer-chase must be backend bound";
+    EXPECT_GT(td.backend_memory, td.backend_core);
+    EXPECT_GT(s.l1dMpki(), 100.0);
+    // The smaller window structure saturates first: with a 36-entry RS in
+    // front of a 128-entry ROB, load streams stall in the RS.
+    EXPECT_GT(s.slots_rob_stall + s.slots_rs_stall, 0u);
+}
+
+TEST(Core, RandomBranchesCauseBadSpeculation)
+{
+    VT_SITE(br, "coretest.randbr", 16, 2, Branch);
+    CoreHarness h(baselineConfig());
+    Rng rng(1);
+    for (int i = 0; i < 100000; ++i) {
+        trace::branch(br, rng.chance(0.5));
+    }
+    const CoreStats s = h.finish();
+    const TopDown td = s.topdown();
+    EXPECT_GT(td.bad_speculation, 0.3)
+        << "unpredictable branches must burn slots on flushes";
+    EXPECT_GT(s.branchMpki(), 50.0);
+}
+
+TEST(Core, HugeCodeFootprintIsFrontendBound)
+{
+    // 512 sites x ~512B padded stride: far beyond a 32K L1i.
+    static std::vector<trace::CodeSite*> sites;
+    if (sites.empty()) {
+        for (int i = 0; i < 512; ++i) {
+            sites.push_back(&trace::registry().define(
+                "coretest.fe." + std::to_string(i), 64, 2,
+                trace::SiteKind::Block));
+        }
+    }
+    CoreHarness h(baselineConfig());
+    for (int rep = 0; rep < 200; ++rep) {
+        for (auto* s : sites) {
+            trace::block(*s);
+        }
+    }
+    const CoreStats s = h.finish();
+    const TopDown td = s.topdown();
+    EXPECT_GT(td.frontend, 0.2)
+        << "thrashing the L1i must show up as frontend bound";
+    EXPECT_GT(s.l1iMpki(), 10.0);
+}
+
+TEST(Core, SmallStoreBufferStalls)
+{
+    CoreParams p = baselineConfig();
+    p.sb_size = 4;
+    VT_SITE(site, "coretest.sbstall", 32, 1, Block);
+    CoreHarness h(p);
+    uint64_t addr = 0x300000000ull;
+    for (int i = 0; i < 50000; ++i) {
+        trace::block(site);
+        trace::store(addr, 8);
+        addr += 4096; // misses: slow drains back up the tiny SB
+    }
+    const CoreStats s = h.finish();
+    EXPECT_GT(s.slots_sb_stall, 0u);
+    EXPECT_GT(s.sbStallsPki(), 1.0);
+}
+
+TEST(Core, BiggerRobReducesMemoryStalls)
+{
+    auto run = [](const CoreParams& p) {
+        VT_SITE(site, "coretest.rob", 48, 6, Block);
+        CoreHarness h(p);
+        uint64_t addr = 0x400000000ull;
+        for (int i = 0; i < 100000; ++i) {
+            trace::block(site);
+            trace::load(addr, 8);
+            addr += 256;
+        }
+        return h.finish();
+    };
+    const CoreStats small = run(baselineConfig());
+    const CoreStats big = run(beOp2Config());
+    EXPECT_LT(big.cycles, small.cycles)
+        << "be_op2's larger window must absorb more memory latency";
+}
+
+TEST(Core, TopdownSumsToOne)
+{
+    VT_SITE(site, "coretest.sum", 48, 4, Block);
+    VT_SITE(br, "coretest.sum.br", 16, 1, Branch);
+    CoreHarness h(baselineConfig());
+    Rng rng(9);
+    uint64_t addr = 0x500000000ull;
+    for (int i = 0; i < 30000; ++i) {
+        trace::block(site);
+        trace::load(addr, 16);
+        trace::store(addr + 64, 4);
+        trace::branch(br, rng.chance(0.3));
+        addr += 192;
+    }
+    const CoreStats s = h.finish();
+    const TopDown td = s.topdown();
+    EXPECT_NEAR(td.retiring + td.frontend + td.bad_speculation
+                    + td.backend_memory + td.backend_core,
+                1.0, 1e-9);
+    EXPECT_EQ(s.slots_total, s.cycles * 4);
+}
+
+TEST(Core, SecondsScaleWithFrequency)
+{
+    CoreStats s;
+    s.cycles = 3'500'000'000ull;
+    s.freq_ghz = 3.5;
+    EXPECT_NEAR(s.seconds(), 1.0, 1e-9);
+}
+
+// ---- Table IV configs ----------------------------------------------------
+
+TEST(Config, TableIVRows)
+{
+    const auto configs = tableIVConfigs();
+    ASSERT_EQ(configs.size(), 5u);
+    EXPECT_EQ(configs[0].name, "baseline");
+
+    // Sizes are scaled (DESIGN.md §5) but every Table IV relationship
+    // must hold exactly.
+    const CoreParams base = baselineConfig();
+    const CoreParams fe = configByName("fe_op");
+    EXPECT_EQ(fe.l1i.size_bytes, base.l1i.size_bytes * 2);
+    EXPECT_EQ(fe.itlb_entries, base.itlb_entries * 2);
+    EXPECT_EQ(fe.l1d.size_bytes, base.l1d.size_bytes);
+
+    const CoreParams be1 = configByName("be_op1");
+    EXPECT_EQ(be1.l1d.size_bytes, base.l1d.size_bytes * 2);
+    EXPECT_EQ(be1.l2.size_bytes, base.l2.size_bytes * 2);
+    EXPECT_EQ(be1.l3.size_bytes, base.l3.size_bytes / 2);
+    EXPECT_EQ(be1.l4_size, base.l3.size_bytes * 2);
+
+    const CoreParams be2 = configByName("be_op2");
+    EXPECT_EQ(be2.rob_size, 256);
+    EXPECT_EQ(be2.rs_size, 72);
+    EXPECT_TRUE(be2.issue_at_dispatch);
+
+    const CoreParams bs = configByName("bs_op");
+    EXPECT_EQ(bs.predictor, "tage");
+
+    EXPECT_DEATH(configByName("nope"), "unknown microarchitecture");
+}
+
+} // namespace
+} // namespace vtrans

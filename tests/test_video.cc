@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Tests of frames, the vbench corpus table, the synthetic generator's
+ * entropy-driven content model, and quality metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "video/frame.h"
+#include "video/generate.h"
+#include "video/quality.h"
+#include "video/vbench.h"
+
+namespace vtrans {
+namespace {
+
+using video::Frame;
+using video::Plane;
+using video::VideoSpec;
+
+TEST(Frame, GeometryAndPlanes)
+{
+    Frame f(64, 48);
+    EXPECT_EQ(f.width(), 64);
+    EXPECT_EQ(f.height(), 48);
+    EXPECT_EQ(f.chromaWidth(), 32);
+    EXPECT_EQ(f.chromaHeight(), 24);
+    EXPECT_EQ(f.stride(Plane::Y), 64);
+    EXPECT_EQ(f.stride(Plane::Cb), 32);
+    EXPECT_EQ(f.byteSize(), 64u * 48 + 2u * 32 * 24);
+}
+
+TEST(Frame, PixelAccessRoundtrip)
+{
+    Frame f(32, 32);
+    f.at(Plane::Y, 5, 7) = 200;
+    f.at(Plane::Cb, 3, 2) = 64;
+    EXPECT_EQ(f.at(Plane::Y, 5, 7), 200);
+    EXPECT_EQ(f.at(Plane::Cb, 3, 2), 64);
+}
+
+TEST(Frame, SimAddressesAreRowLinear)
+{
+    Frame f(32, 32);
+    EXPECT_EQ(f.simAddr(Plane::Y, 1, 0), f.simAddr(Plane::Y, 0, 0) + 1);
+    EXPECT_EQ(f.simAddr(Plane::Y, 0, 1), f.simAddr(Plane::Y, 0, 0) + 32);
+    // Planes must not overlap.
+    EXPECT_GE(f.simAddr(Plane::Cb, 0, 0),
+              f.simAddr(Plane::Y, 0, 0) + 32 * 32);
+}
+
+TEST(Frame, FillAndCopy)
+{
+    Frame a(32, 32);
+    a.fill(10, 20, 30);
+    Frame b(32, 32);
+    b.copyFrom(a);
+    EXPECT_EQ(b.at(Plane::Y, 31, 31), 10);
+    EXPECT_EQ(b.at(Plane::Cb, 15, 15), 20);
+    EXPECT_EQ(b.at(Plane::Cr, 0, 0), 30);
+}
+
+TEST(Vbench, TableIContents)
+{
+    const auto& corpus = video::vbenchCorpus();
+    ASSERT_EQ(corpus.size(), 15u) << "Table I lists 15 vbench videos";
+
+    // Spot-check Table I rows.
+    const auto& desktop = video::findVideo("desktop");
+    EXPECT_EQ(desktop.resolution_class, "720p");
+    EXPECT_EQ(desktop.fps, 30);
+    EXPECT_DOUBLE_EQ(desktop.entropy, 0.2);
+
+    const auto& hall = video::findVideo("hall");
+    EXPECT_EQ(hall.resolution_class, "1080p");
+    EXPECT_DOUBLE_EQ(hall.entropy, 7.7);
+
+    const auto& chicken = video::findVideo("chicken");
+    EXPECT_EQ(chicken.resolution_class, "2160p");
+
+    const auto& game3 = video::findVideo("game3");
+    EXPECT_EQ(game3.fps, 59);
+
+    for (const auto& spec : corpus) {
+        EXPECT_EQ(spec.width % 16, 0) << spec.name;
+        EXPECT_EQ(spec.height % 16, 0) << spec.name;
+        EXPECT_NEAR(spec.seconds, 5.0, 1e-9) << "vbench clips are 5 s";
+        EXPECT_GT(spec.frames(), 0);
+    }
+}
+
+TEST(Vbench, ResolutionClassOrderingPreserved)
+{
+    const auto [w480, h480] = video::scaledResolution("480p");
+    const auto [w720, h720] = video::scaledResolution("720p");
+    const auto [w1080, h1080] = video::scaledResolution("1080p");
+    const auto [w2160, h2160] = video::scaledResolution("2160p");
+    EXPECT_LT(w480 * h480, w720 * h720);
+    EXPECT_LT(w720 * h720, w1080 * h1080);
+    EXPECT_LT(w1080 * h1080, w2160 * h2160);
+    // 2160p has ~4x the pixels of 1080p, as in the paper.
+    EXPECT_NEAR(static_cast<double>(w2160 * h2160) / (w1080 * h1080), 4.0,
+                0.8);
+}
+
+TEST(Generate, DeterministicFromSeed)
+{
+    const auto& spec = video::findVideo("cricket");
+    VideoSpec small = spec;
+    small.seconds = 0.2;
+    const auto a = video::generateVideo(small);
+    const auto b = video::generateVideo(small);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(video::planeMse(a[i], b[i], Plane::Y), 0.0)
+            << "frame " << i;
+    }
+}
+
+TEST(Generate, EntropyIncreasesTemporalDifference)
+{
+    // Higher-entropy specs must exhibit more frame-to-frame change (the
+    // motion/scene-cut axis vbench's entropy captures).
+    auto temporalDiff = [](double entropy) {
+        VideoSpec spec;
+        spec.name = "t";
+        spec.width = 80;
+        spec.height = 48;
+        spec.fps = 30;
+        spec.seconds = 1.0;
+        spec.entropy = entropy;
+        spec.seed = 555;
+        const auto frames = video::generateVideo(spec);
+        double diff = 0.0;
+        for (size_t i = 1; i < frames.size(); ++i) {
+            diff += video::planeMse(frames[i], frames[i - 1], Plane::Y);
+        }
+        return diff / (frames.size() - 1);
+    };
+    const double low = temporalDiff(0.2);
+    const double mid = temporalDiff(3.5);
+    const double high = temporalDiff(7.7);
+    EXPECT_LT(low, mid);
+    EXPECT_LT(mid, high);
+}
+
+TEST(Generate, EntropyIncreasesSpatialComplexity)
+{
+    auto spatial = [](double entropy) {
+        VideoSpec spec;
+        spec.name = "s";
+        spec.width = 80;
+        spec.height = 48;
+        spec.fps = 30;
+        spec.seconds = 0.1;
+        spec.entropy = entropy;
+        spec.seed = 777;
+        const auto frames = video::generateVideo(spec);
+        return video::spatialComplexity(frames[0]);
+    };
+    EXPECT_LT(spatial(0.2), spatial(7.7));
+}
+
+TEST(Quality, PsnrIdenticalFramesIsCapped)
+{
+    Frame a(32, 32);
+    a.fill(128, 128, 128);
+    Frame b(32, 32);
+    b.copyFrom(a);
+    EXPECT_DOUBLE_EQ(video::framePsnr(a, b), 99.0);
+}
+
+TEST(Quality, PsnrKnownValue)
+{
+    Frame a(32, 32);
+    Frame b(32, 32);
+    a.fill(100, 128, 128);
+    b.fill(110, 128, 128); // luma MSE = 100, chroma 0
+    const double weighted_mse = (4.0 * 100.0 + 0.0 + 0.0) / 6.0;
+    const double expected = 10.0 * std::log10(255.0 * 255.0 / weighted_mse);
+    EXPECT_NEAR(video::framePsnr(a, b), expected, 1e-9);
+}
+
+TEST(Quality, PsnrDecreasesWithError)
+{
+    Frame a(32, 32);
+    a.fill(100, 128, 128);
+    Frame b(32, 32);
+    b.fill(105, 128, 128);
+    Frame c(32, 32);
+    c.fill(130, 128, 128);
+    EXPECT_GT(video::framePsnr(a, b), video::framePsnr(a, c));
+}
+
+} // namespace
+} // namespace vtrans
