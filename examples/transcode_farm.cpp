@@ -1,117 +1,179 @@
 /**
  * @file
- * A miniature transcoding farm: a batch of upload->rendition jobs is
- * scheduled across a pool of heterogeneous servers (the Table IV
- * configurations) using the characterization-driven smart scheduler —
- * the scenario the paper's §III-D2 motivates for streaming providers.
+ * A continuous transcoding-farm service: hundreds of upload->rendition
+ * jobs stream into a bounded queue and are dispatched — no waves, no
+ * barriers — across a heterogeneous pool of Table IV servers by the
+ * characterization-driven smart dispatcher (the paper's §III-D2 scheduler
+ * grown into a service). Compares dispatch policies end to end and prints
+ * the run-log aggregate metrics; optionally writes the per-job JSON-lines
+ * run log.
  *
- *   ./build/examples/transcode_farm [--seconds 1] [--jobs 6]
+ *   ./build/examples/transcode_farm [--jobs 48] [--seconds 0.4]
+ *       [--workers 0] [--policy smart|random|round_robin|smart_deadline]
+ *       [--queue fifo|priority|edf] [--faults 0.0] [--retries 2]
+ *       [--seed 7] [--log runlog.jsonl] [--verbose]
  */
 
 #include <cstdio>
 #include <vector>
 
 #include "common/cli.h"
-#include "common/table.h"
-#include "core/workload.h"
-#include "sched/scheduler.h"
-#include "uarch/config.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "farm/farm.h"
 
-int
-main(int argc, char** argv)
+namespace {
+
+using namespace vtrans;
+
+/** The service's job mix: content classes cycled with seeded priorities,
+ *  deadlines, and Poisson-ish arrival spacing. */
+std::vector<farm::JobRequest>
+makeJobStream(int jobs, int retries, uint64_t seed)
 {
-    using namespace vtrans;
-    Cli cli(argc, argv);
-    setVerbose(false);
-    const double seconds = cli.real("seconds", 0.6);
-    const int jobs = static_cast<int>(cli.num("jobs", 4));
-
-    // A job mix: different content classes and delivery targets.
     const std::vector<sched::Task> catalog = {
         {"desktop", 30, 8, "veryfast"}, {"holi", 10, 1, "slow"},
         {"presentation", 35, 6, "veryfast"}, {"game2", 15, 2, "medium"},
         {"hall", 26, 3, "medium"},      {"bike", 20, 4, "fast"},
         {"chicken", 28, 2, "faster"},   {"girl", 24, 3, "medium"},
+        {"cat", 23, 3, "fast"},         {"cricket", 21, 3, "veryfast"},
+        {"house", 23, 3, "medium"},     {"landscape", 27, 2, "faster"},
     };
-    std::vector<sched::Task> batch(
-        catalog.begin(),
-        catalog.begin() + std::min<size_t>(jobs, catalog.size()));
+    Rng rng(seed);
+    std::vector<farm::JobRequest> stream;
+    double t = 0.0;
+    for (int i = 0; i < jobs; ++i) {
+        farm::JobRequest req;
+        req.task = catalog[i % catalog.size()];
+        req.submit_time = t;
+        req.priority = static_cast<int>(rng.below(3)); // 0..2
+        if (rng.chance(0.3)) {
+            // A third of the jobs are latency-sensitive (live-ish).
+            req.deadline = t + 0.002 + 0.004 * rng.uniform();
+        }
+        req.retry_budget = retries;
+        stream.push_back(req);
+        // Mean inter-arrival ~0.25 ms of simulated time: enough pressure
+        // to keep a backlog in front of the four-server fleet.
+        t += 0.0005 * rng.uniform();
+    }
+    return stream;
+}
 
-    // The server pool: one machine per Table IV variant. With more jobs
-    // than servers, schedule in waves of pool-size.
-    const auto pool = uarch::optimizedConfigs();
-    std::vector<std::string> names;
-    for (const auto& p : pool) {
-        names.push_back(p.name);
+farm::FarmMetrics
+runPolicy(const std::vector<farm::JobRequest>& stream,
+          farm::DispatchPolicy policy, farm::QueuePolicy queue_policy,
+          const farm::FarmOptions& base, bool print, std::string log_path)
+{
+    farm::FarmOptions options = base;
+    options.dispatch = policy;
+    options.queue_policy = queue_policy;
+    farm::Farm service(options);
+    for (const auto& req : stream) {
+        service.submit(req);
+    }
+    service.drain();
+    if (print) {
+        std::printf("%s\n",
+                    service.log().metricsTable(service.fleet())
+                        .toText().c_str());
+    }
+    if (!log_path.empty()) {
+        service.log().writeJsonl(log_path);
+        std::printf("wrote %zu run-log records to %s\n\n",
+                    service.log().records().size(), log_path.c_str());
+    }
+    return service.metrics();
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Cli cli(argc, argv);
+    setVerbose(cli.has("verbose"));
+    const int jobs = static_cast<int>(cli.num("jobs", 48));
+    const int retries = static_cast<int>(cli.num("retries", 2));
+    const uint64_t seed = static_cast<uint64_t>(cli.num("seed", 7));
+
+    farm::FarmOptions base;
+    base.clip_seconds = cli.real("seconds", 0.4);
+    base.workers = static_cast<int>(cli.num("workers", 0));
+    base.fault_rate = cli.real("faults", 0.0);
+    base.verbose = cli.has("verbose");
+    const auto queue_policy =
+        farm::queuePolicyFromName(cli.str("queue", "fifo"));
+
+    const auto stream = makeJobStream(jobs, retries, seed);
+    std::printf("Transcoding farm: %d jobs, %.2fs clips, fault rate "
+                "%.0f%%, queue=%s\n\n",
+                jobs, base.clip_seconds, base.fault_rate * 100.0,
+                farm::toString(queue_policy).c_str());
+
+    // Validate flags before the (multi-second) warm-up, so a typo fails
+    // fast; then pre-warm outside any comparison so every policy pays
+    // equal costs.
+    const bool single_policy = cli.has("policy");
+    const auto policy =
+        farm::dispatchPolicyFromName(cli.str("policy", "smart"));
+    farm::Farm::warmupProcess();
+
+    if (single_policy) {
+        // Single-policy mode: full metrics + optional JSONL run log.
+        std::printf("policy: %s\n", farm::toString(policy).c_str());
+        runPolicy(stream, policy, queue_policy, base, true,
+                  cli.str("log", ""));
+        return 0;
     }
 
-    std::printf("Scheduling %zu transcoding jobs across %zu servers "
-                "(%s)\n\n",
-                batch.size(), pool.size(),
-                "fe_op, be_op1, be_op2, bs_op");
-
-    double random_total = 0.0;
-    double smart_total = 0.0;
-    double best_total = 0.0;
-    Table t({"job", "video", "preset", "crf", "refs", "assigned server",
-             "time (ms)", "best server"});
-
-    for (size_t wave = 0; wave < batch.size(); wave += pool.size()) {
-        std::vector<sched::Task> tasks(
-            batch.begin() + wave,
-            batch.begin()
-                + std::min(batch.size(), wave + pool.size()));
-
-        std::vector<double> baseline;
-        std::vector<std::vector<double>> times(tasks.size());
-        std::vector<uarch::TopDown> profiles;
-        for (size_t i = 0; i < tasks.size(); ++i) {
-            core::RunConfig run;
-            run.video = tasks[i].video;
-            run.seconds = seconds;
-            run.params = tasks[i].params();
-            run.core = uarch::baselineConfig();
-            const auto base = core::runInstrumented(run);
-            baseline.push_back(base.transcode_seconds);
-            profiles.push_back(base.core.topdown());
-            for (const auto& core_params : pool) {
-                run.core = core_params;
-                times[i].push_back(
-                    core::runInstrumented(run).transcode_seconds);
-            }
+    // Policy comparison: the same job stream under every dispatcher.
+    Table t({"policy", "completed", "failed", "shed", "retries",
+             "mean latency (ms)", "p95 (ms)", "makespan (ms)",
+             "pred err"});
+    farm::FarmMetrics random_m, smart_m;
+    for (const auto policy :
+         {farm::DispatchPolicy::RoundRobin, farm::DispatchPolicy::Random,
+          farm::DispatchPolicy::Smart,
+          farm::DispatchPolicy::SmartDeadline}) {
+        const auto m =
+            runPolicy(stream, policy, queue_policy, base, false, "");
+        if (policy == farm::DispatchPolicy::Random) {
+            random_m = m;
         }
-
-        const auto result = sched::evaluateSchedulers(
-            tasks, names, baseline, times, profiles);
-
-        for (size_t i = 0; i < tasks.size(); ++i) {
-            t.beginRow();
-            t.cell(static_cast<int64_t>(wave + i + 1));
-            t.cell(tasks[i].video);
-            t.cell(tasks[i].preset);
-            t.cell(static_cast<int64_t>(tasks[i].crf));
-            t.cell(static_cast<int64_t>(tasks[i].refs));
-            t.cell(names[result.smart[i]]);
-            t.cell(times[i][result.smart[i]] * 1000.0, 3);
-            t.cell(names[result.best[i]]);
-
-            smart_total += times[i][result.smart[i]];
-            best_total += times[i][result.best[i]];
-            double mean = 0.0;
-            for (double s : times[i]) {
-                mean += s;
-            }
-            random_total += mean / times[i].size();
+        if (policy == farm::DispatchPolicy::Smart) {
+            smart_m = m;
         }
+        t.beginRow();
+        t.cell(farm::toString(policy));
+        t.cell(static_cast<int64_t>(m.completed));
+        t.cell(static_cast<int64_t>(m.failed));
+        t.cell(static_cast<int64_t>(m.shed));
+        t.cell(static_cast<int64_t>(m.retries));
+        t.cell(m.mean_latency * 1000.0, 3);
+        t.cell(m.p95_latency * 1000.0, 3);
+        t.cell(m.makespan * 1000.0, 3);
+        t.cell(formatPercent(m.mean_prediction_error, 1));
     }
-
     std::printf("%s\n", t.toText().c_str());
-    std::printf("batch makespan (sum of job times):\n");
-    std::printf("  random assignment: %.3f ms\n", random_total * 1000.0);
-    std::printf("  smart assignment:  %.3f ms (%.2f%% faster than "
-                "random)\n",
-                smart_total * 1000.0,
-                (random_total / smart_total - 1.0) * 100.0);
-    std::printf("  best (oracle):     %.3f ms\n", best_total * 1000.0);
+
+    if (smart_m.mean_latency < random_m.mean_latency) {
+        std::printf("smart dispatch beats random: mean latency %.3f ms "
+                    "vs %.3f ms (%.1f%% lower)\n",
+                    smart_m.mean_latency * 1000.0,
+                    random_m.mean_latency * 1000.0,
+                    (1.0 - smart_m.mean_latency / random_m.mean_latency)
+                        * 100.0);
+    } else {
+        std::printf("smart dispatch did NOT beat random on this stream "
+                    "(%.3f ms vs %.3f ms)\n",
+                    smart_m.mean_latency * 1000.0,
+                    random_m.mean_latency * 1000.0);
+    }
+
+    // Detailed metrics for the smart policy, plus optional run log.
+    std::printf("\nsmart-policy service metrics:\n");
+    runPolicy(stream, farm::DispatchPolicy::Smart, queue_policy, base,
+              true, cli.str("log", ""));
     return 0;
 }

@@ -1,6 +1,7 @@
 #include "core/workload.h"
 
 #include <map>
+#include <mutex>
 
 #include "codec/transcode.h"
 #include "common/status.h"
@@ -12,8 +13,13 @@ namespace vtrans::core {
 const std::vector<uint8_t>&
 mezzanine(const std::string& video, double seconds)
 {
+    // Shared across farm worker threads: the whole lookup-or-build is
+    // mutex-guarded (map node references stay valid after later inserts,
+    // so callers may keep the returned reference lock-free).
+    static std::mutex mu;
     static std::map<std::pair<std::string, int>, std::vector<uint8_t>>
         cache;
+    std::lock_guard<std::mutex> lock(mu);
     const int centi = static_cast<int>(seconds * 100.0 + 0.5);
     const auto key = std::make_pair(video, centi);
     auto it = cache.find(key);

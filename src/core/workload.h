@@ -42,7 +42,8 @@ struct RunResult
 /**
  * Returns the cached mezzanine stream for a video at a clip length
  * (generated and high-quality encoded on first use; pure bytes, safe to
- * cache across arena resets).
+ * cache across arena resets). Thread-safe: the cache is mutex-guarded and
+ * returned references stay valid for the process lifetime.
  */
 const std::vector<uint8_t>& mezzanine(const std::string& video,
                                       double seconds);

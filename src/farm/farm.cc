@@ -1,0 +1,483 @@
+#include "farm/farm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <thread>
+
+#include "codec/params.h"
+#include "common/status.h"
+#include "core/workload.h"
+
+namespace vtrans::farm {
+
+/** One planned dispatch of a job onto a server. */
+struct Farm::Attempt
+{
+    uint64_t job_id = 0;
+    std::string key;          ///< Task signature of the job.
+    int server = 0;           ///< Fleet id.
+    int number = 0;           ///< 0-based attempt number.
+    double planned_start = 0; ///< Event clock (predicted time base).
+    double predicted = 0;     ///< Predicted seconds on this server.
+    bool failed = false;      ///< Fault-injector verdict.
+};
+
+namespace {
+
+/** Exponential backoff before retry `number + 1`. */
+double
+backoffAfter(double base, int attempt_number)
+{
+    return base * std::pow(2.0, attempt_number);
+}
+
+} // namespace
+
+void
+Farm::warmupProcess()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        // One short native transcode per kernel family: the four presets
+        // below span every motion-estimation method (dia/hex/umh/tesa),
+        // trellis level, B-frame adaptation mode and deblock setting, so
+        // every probe code site registers here — serially, in a fixed
+        // order — before any worker thread can race a registration and
+        // perturb the virtual code layout.
+        for (const char* preset :
+             {"ultrafast", "medium", "slower", "placebo"}) {
+            core::RunConfig cfg;
+            cfg.video = "cat"; // Smallest resolution class (480p scale).
+            cfg.seconds = 0.12;
+            cfg.params = codec::presetParams(preset);
+            core::runNative(cfg);
+        }
+    });
+}
+
+Farm::Farm(FarmOptions options)
+    : options_(std::move(options)),
+      injector_(options_.fault_rate, options_.fault_seed)
+{
+    auto pool =
+        options_.pool.empty() ? uarch::optimizedConfigs() : options_.pool;
+    fleet_ = makeFleet(pool, options_.replicas);
+    int workers = options_.workers;
+    if (workers <= 0) {
+        workers = static_cast<int>(std::thread::hardware_concurrency());
+    }
+    if (workers < 1) {
+        workers = 1;
+    }
+    pool_ = std::make_unique<WorkerPool>(workers);
+}
+
+Farm::~Farm()
+{
+    stop();
+}
+
+int
+Farm::workers() const
+{
+    return pool_->workers();
+}
+
+void
+Farm::stop()
+{
+    pool_->stop();
+}
+
+uint64_t
+Farm::submit(const JobRequest& request)
+{
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    VT_ASSERT(!drained_, "cannot submit to a drained farm");
+    Job job;
+    job.id = next_id_++;
+    job.task = request.task;
+    job.submit_time = request.submit_time;
+    job.deadline = request.deadline;
+    job.priority = request.priority;
+    job.retry_budget = request.retry_budget;
+    job.ready_time = request.submit_time;
+    intake_.push_back(job);
+    return job.id;
+}
+
+size_t
+Farm::submitted() const
+{
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    return intake_.size();
+}
+
+void
+Farm::characterize(const std::vector<Job>& jobs)
+{
+    // Unique task signatures (first job seen defines the task).
+    for (const Job& job : jobs) {
+        key_tasks_.emplace(job.key(), job.task);
+    }
+
+    // Unique optimized config names, pool order ("baseline" servers need
+    // no calibration: they predict no speedup by construction).
+    std::vector<std::string> cal_names;
+    for (const Server& s : fleet_) {
+        if (s.config != "baseline"
+            && std::find(cal_names.begin(), cal_names.end(), s.config)
+                   == cal_names.end()) {
+            cal_names.push_back(s.config);
+        }
+    }
+
+    // The calibration reference (paper §III-D2: "profiling results used
+    // as a reference"), run on baseline and on every optimized config.
+    sched::Task ref;
+    ref.video = options_.reference_video;
+    const std::string ref_key = "reference/" + options_.reference_video;
+
+    struct BaselineRun
+    {
+        std::string key;
+        sched::Task task;
+        core::RunResult result;
+    };
+    std::vector<BaselineRun> baseline_runs;
+    baseline_runs.push_back({ref_key, ref, {}});
+    for (const auto& [key, task] : key_tasks_) {
+        baseline_runs.push_back({key, task, {}});
+    }
+    std::vector<core::RunResult> cal_runs(cal_names.size());
+
+    // All characterization runs are independent: fan out on the pool.
+    std::vector<std::function<void()>> tasks;
+    const uarch::CoreParams baseline = uarch::baselineConfig();
+    for (auto& run : baseline_runs) {
+        tasks.push_back([&run, &baseline, this] {
+            core::RunConfig cfg;
+            cfg.video = run.task.video;
+            cfg.seconds = options_.clip_seconds;
+            cfg.params = run.task.params();
+            cfg.core = baseline;
+            run.result = core::runInstrumented(cfg);
+        });
+    }
+    for (size_t c = 0; c < cal_names.size(); ++c) {
+        tasks.push_back([this, &cal_runs, &cal_names, &ref, c] {
+            core::RunConfig cfg;
+            cfg.video = ref.video;
+            cfg.seconds = options_.clip_seconds;
+            cfg.params = ref.params();
+            cfg.core = uarch::configByName(cal_names[c]);
+            cal_runs[c] = core::runInstrumented(cfg);
+        });
+    }
+    if (options_.verbose) {
+        VT_INFORM("farm: characterizing ", baseline_runs.size(),
+                  " task signatures + ", cal_names.size(),
+                  " calibration configs on ", pool_->workers(),
+                  " workers");
+    }
+    pool_->run(std::move(tasks));
+
+    // Calibrate relief and learn every task's baseline profile.
+    const auto& ref_base = baseline_runs.front().result;
+    std::vector<double> cal_seconds;
+    for (const auto& r : cal_runs) {
+        cal_seconds.push_back(r.transcode_seconds);
+    }
+    if (!cal_names.empty()) {
+        predictor_.setRelief(
+            cal_names,
+            sched::calibrateRelief(ref_base.core.topdown(),
+                                   ref_base.transcode_seconds, cal_names,
+                                   cal_seconds));
+    }
+    for (auto& run : baseline_runs) {
+        predictor_.learn(run.key, run.result.transcode_seconds,
+                         run.result.core.topdown());
+        // Baseline results are reusable by baseline-config servers.
+        results_.emplace(std::make_pair(run.key, std::string("baseline")),
+                         run.result);
+    }
+}
+
+std::vector<Farm::Attempt>
+Farm::plan(std::vector<Job> jobs)
+{
+    JobQueue queue(options_.queue_policy, options_.queue_capacity);
+    std::vector<Job> retries; // Waiting out their backoff.
+    std::vector<double> busy(fleet_.size(), 0.0);
+    Rng rng(options_.rng_seed);
+    size_t rr_cursor = 0;
+    size_t next_arrival = 0;
+    std::vector<Attempt> attempts;
+
+    const bool matching =
+        options_.dispatch == DispatchPolicy::Smart
+        || options_.dispatch == DispatchPolicy::SmartDeadline;
+
+    double t = jobs.empty() ? 0.0 : jobs.front().submit_time;
+    while (true) {
+        // Re-queue retries whose backoff has expired (before admitting
+        // new arrivals, so a waiting retry is not starved of queue space).
+        std::sort(retries.begin(), retries.end(),
+                  [](const Job& a, const Job& b) {
+                      return a.ready_time != b.ready_time
+                                 ? a.ready_time < b.ready_time
+                                 : a.id < b.id;
+                  });
+        while (!retries.empty() && retries.front().ready_time <= t
+               && queue.tryPush(retries.front())) {
+            retries.erase(retries.begin());
+        }
+
+        // Admission control: arrivals into a full backlog are shed.
+        while (next_arrival < jobs.size()
+               && jobs[next_arrival].submit_time <= t) {
+            if (!queue.tryPush(jobs[next_arrival])) {
+                shed_ids_.insert(jobs[next_arrival].id);
+            }
+            ++next_arrival;
+        }
+
+        // Dispatch onto every idle server the policy finds work for.
+        std::vector<int> idle;
+        for (size_t s = 0; s < fleet_.size(); ++s) {
+            if (busy[s] <= t) {
+                idle.push_back(static_cast<int>(s));
+            }
+        }
+        while (!idle.empty()) {
+            Job job;
+            int server = -1;
+            if (matching) {
+                // Characterization-driven matching: among the first
+                // match_window jobs in queue-policy order, take the
+                // (job, idle server) pair with the best predicted fit.
+                const auto window =
+                    queue.peekWindow(t, options_.match_window);
+                if (window.empty()) {
+                    break;
+                }
+                double best_score = -1.0;
+                for (const Job& candidate : window) {
+                    const int s = pickServerForJob(
+                        options_.dispatch, candidate, predictor_, fleet_,
+                        idle, t, rng, rr_cursor);
+                    const double score =
+                        predictor_.fit(candidate.key(), fleet_[s].config);
+                    if (score > best_score) {
+                        best_score = score;
+                        job = candidate;
+                        server = s;
+                    }
+                }
+                queue.remove(job.id);
+            } else {
+                auto popped = queue.tryPop(t);
+                if (!popped) {
+                    break;
+                }
+                job = *popped;
+                server = pickServerForJob(options_.dispatch, job,
+                                          predictor_, fleet_, idle, t, rng,
+                                          rr_cursor);
+            }
+
+            const double predicted =
+                predictor_.predict(job.key(), fleet_[server].config);
+            const bool fails = injector_.fails(job.id, job.attempts);
+            attempts.push_back({job.id, job.key(), server, job.attempts, t,
+                                predicted, fails});
+            busy[server] = t + predicted;
+            idle.erase(std::find(idle.begin(), idle.end(), server));
+
+            const int number = job.attempts++;
+            if (fails && number < job.retry_budget) {
+                job.ready_time =
+                    t + predicted
+                    + backoffAfter(options_.backoff_base, number);
+                retries.push_back(job);
+            }
+        }
+
+        // Advance the event clock: next arrival, retry expiry, or server
+        // completion — whichever comes first.
+        const bool work_left = !queue.empty() || !retries.empty()
+                               || next_arrival < jobs.size();
+        if (!work_left) {
+            break;
+        }
+        double next = std::numeric_limits<double>::infinity();
+        if (next_arrival < jobs.size()) {
+            next = std::min(next, jobs[next_arrival].submit_time);
+        }
+        for (const Job& r : retries) {
+            next = std::min(next, r.ready_time);
+        }
+        if (!queue.empty()) {
+            for (double b : busy) {
+                if (b > t) {
+                    next = std::min(next, b);
+                }
+            }
+        }
+        VT_ASSERT(next > t && std::isfinite(next),
+                  "farm planner stalled at t=", t);
+        t = next;
+    }
+    return attempts;
+}
+
+void
+Farm::execute(const std::vector<Attempt>& attempts)
+{
+    // Unique (task, config) pairs still to run; retries and replicas of
+    // the same config reuse one deterministic result.
+    std::vector<std::pair<std::string, std::string>> pending;
+    for (const Attempt& a : attempts) {
+        const auto key = std::make_pair(a.key, fleet_[a.server].config);
+        if (results_.count(key) == 0
+            && std::find(pending.begin(), pending.end(), key)
+                   == pending.end()) {
+            pending.push_back(key);
+        }
+    }
+    // Longest-predicted-first keeps the pool balanced near the tail.
+    std::sort(pending.begin(), pending.end(),
+              [this](const auto& a, const auto& b) {
+                  const double pa = predictor_.predict(a.first, a.second);
+                  const double pb = predictor_.predict(b.first, b.second);
+                  return pa != pb ? pa > pb : a < b;
+              });
+
+    std::vector<std::function<void()>> tasks;
+    for (const auto& key : pending) {
+        tasks.push_back([this, key] {
+            const sched::Task& task = key_tasks_.at(key.first);
+            core::RunConfig cfg;
+            cfg.video = task.video;
+            cfg.seconds = options_.clip_seconds;
+            cfg.params = task.params();
+            cfg.core = uarch::configByName(key.second);
+            core::RunResult result = core::runInstrumented(cfg);
+            std::lock_guard<std::mutex> lock(results_mu_);
+            results_.emplace(key, std::move(result));
+        });
+    }
+    if (options_.verbose) {
+        VT_INFORM("farm: executing ", tasks.size(), " unique runs for ",
+                  attempts.size(), " attempts on ", pool_->workers(),
+                  " workers");
+    }
+    pool_->run(std::move(tasks));
+}
+
+void
+Farm::account(const std::vector<Job>& jobs,
+              const std::vector<Attempt>& attempts)
+{
+    // Replay the planned schedule against the *measured* simulated
+    // durations: assignments and per-server order stay as dispatched;
+    // start/finish times shift to what the fleet actually took.
+    std::map<uint64_t, JobRecord> records;
+    std::map<uint64_t, int> budgets;
+    for (const Job& job : jobs) {
+        JobRecord rec;
+        rec.id = job.id;
+        rec.video = job.task.video;
+        rec.preset = job.task.preset;
+        rec.crf = job.task.crf;
+        rec.refs = job.task.refs;
+        rec.priority = job.priority;
+        rec.submit = job.submit_time;
+        rec.deadline = job.deadline;
+        rec.state = shed_ids_.count(job.id) ? JobState::Shed
+                                            : JobState::Pending;
+        if (rec.state == JobState::Shed) {
+            rec.finish = job.submit_time;
+        }
+        records.emplace(job.id, std::move(rec));
+        budgets.emplace(job.id, job.retry_budget);
+    }
+
+    std::vector<double> server_free(fleet_.size(), 0.0);
+    std::map<uint64_t, double> ready;
+    for (const Attempt& a : attempts) {
+        JobRecord& rec = records.at(a.job_id);
+        const auto& result =
+            results_.at(std::make_pair(a.key, fleet_[a.server].config));
+        const double actual = result.transcode_seconds;
+        const double r = ready.count(a.job_id) ? ready.at(a.job_id)
+                                               : rec.submit;
+        const double start = std::max(r, server_free[a.server]);
+        const double finish = start + actual;
+        server_free[a.server] = finish;
+
+        if (a.number == 0) {
+            rec.start = start;
+            rec.queue_wait = start - rec.submit;
+        }
+        rec.attempts = a.number + 1;
+        rec.server = a.server;
+        rec.server_name = fleet_[a.server].name;
+        rec.predicted_seconds = a.predicted;
+        rec.actual_seconds = actual;
+        rec.finish = finish;
+        rec.psnr = result.psnr;
+        rec.bitrate_kbps = result.bitrate_kbps;
+        rec.topdown = result.core.topdown();
+        rec.result_fingerprint = fingerprint(result);
+        if (a.failed) {
+            ready[a.job_id] =
+                finish + backoffAfter(options_.backoff_base, a.number);
+            rec.state = a.number < budgets.at(a.job_id)
+                            ? JobState::Pending
+                            : JobState::Failed;
+        } else {
+            rec.state = JobState::Done;
+        }
+    }
+
+    for (const Job& job : jobs) {
+        log_.add(records.at(job.id));
+    }
+}
+
+const RunLog&
+Farm::drain()
+{
+    {
+        std::lock_guard<std::mutex> lock(submit_mu_);
+        if (drained_) {
+            return log_;
+        }
+        drained_ = true;
+    }
+    warmupProcess();
+
+    std::vector<Job> jobs;
+    {
+        std::lock_guard<std::mutex> lock(submit_mu_);
+        jobs = intake_;
+    }
+    std::sort(jobs.begin(), jobs.end(), [](const Job& a, const Job& b) {
+        return a.submit_time != b.submit_time
+                   ? a.submit_time < b.submit_time
+                   : a.id < b.id;
+    });
+
+    if (!jobs.empty()) {
+        characterize(jobs);
+        const auto attempts = plan(jobs);
+        execute(attempts);
+        account(jobs, attempts);
+    }
+    return log_;
+}
+
+} // namespace vtrans::farm

@@ -1,0 +1,179 @@
+#ifndef VTRANS_FARM_FARM_H_
+#define VTRANS_FARM_FARM_H_
+
+/**
+ * @file
+ * The transcoding-farm service façade: submit jobs, drain the farm, read
+ * the run log — the paper's one-shot scheduler study (§III-D2) grown into
+ * a continuous multi-server service.
+ *
+ * ## Time and determinism model
+ *
+ * The farm operates on two clocks:
+ *
+ *  - *Simulated* time: the core model's clock. Job arrivals, deadlines,
+ *    queue waits, service times and every run-log timestamp live here.
+ *  - *Wall-clock* time: the worker pool executes the actual instrumented
+ *    transcodes on real threads, in parallel.
+ *
+ * Dispatch is an online discrete-event simulation driven by *predicted*
+ * service times (a real dispatcher cannot observe a job's runtime before
+ * running it — the paper's smart scheduler likewise sees only its
+ * calibration reference plus each task's baseline profile). Predictions
+ * are calibrated from a reference workload and per-task baseline
+ * characterizations, both measured with real instrumented runs. The
+ * planned assignment and per-server order are then executed on the
+ * worker pool, and the final timeline is re-accounted with the measured
+ * simulated durations; the run log reports predicted vs. actual per job.
+ *
+ * Because every scheduling decision depends only on seeds, predictions
+ * and submit order — never on wall-clock — the run log and every per-job
+ * `RunResult` are bit-identical for any worker count. `drain()` with
+ * `workers = 1` is the serial reference the tests compare against.
+ */
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "farm/dispatch.h"
+#include "farm/job.h"
+#include "farm/queue.h"
+#include "farm/runlog.h"
+#include "farm/server.h"
+#include "uarch/config.h"
+
+namespace vtrans::farm {
+
+/** Configuration of a farm instance. */
+struct FarmOptions
+{
+    /** Server pool; empty = the four Table IV variants. Config names must
+     *  be Table IV names ("baseline" servers predict no speedup). */
+    std::vector<uarch::CoreParams> pool;
+    int replicas = 1;          ///< Servers per pool configuration.
+    int workers = 0;           ///< Worker threads; 0 = hardware concurrency.
+
+    QueuePolicy queue_policy = QueuePolicy::Fifo;
+    DispatchPolicy dispatch = DispatchPolicy::Smart;
+    size_t queue_capacity = 256;  ///< Backlog bound (admission control).
+    size_t match_window = 8;      ///< Jobs the smart matcher may look at.
+
+    double clip_seconds = 0.4;    ///< Clip length of every transcode.
+    std::string reference_video = "bbb"; ///< Relief-calibration workload.
+
+    double fault_rate = 0.0;      ///< Probability an attempt fails.
+    uint64_t fault_seed = 0x5eedull;
+    double backoff_base = 0.02;   ///< Simulated seconds; doubles per retry.
+
+    uint64_t rng_seed = 0x7a57ull; ///< Seed of the Random dispatch policy.
+    bool verbose = false;
+};
+
+/** A job as submitted by a client (the farm assigns ids and bookkeeping). */
+struct JobRequest
+{
+    sched::Task task;
+    double submit_time = 0.0; ///< Simulated arrival (seconds since start).
+    double deadline = 0.0;    ///< Absolute simulated deadline; 0 = none.
+    int priority = 0;
+    int retry_budget = 0;
+};
+
+/** The transcoding-farm service. */
+class Farm
+{
+  public:
+    explicit Farm(FarmOptions options = {});
+    ~Farm();
+
+    Farm(const Farm&) = delete;
+    Farm& operator=(const Farm&) = delete;
+
+    /**
+     * Submits a job (thread-safe) and returns its id. Submission is
+     * open until `drain()`; admission control applies in simulated time
+     * (jobs arriving into a full backlog are shed and logged as such).
+     */
+    uint64_t submit(const JobRequest& request);
+
+    /** Jobs submitted so far. */
+    size_t submitted() const;
+
+    /**
+     * Runs the farm to completion: characterizes, plans, executes every
+     * attempt on the worker pool, and builds the run log. Idempotent —
+     * repeated calls return the same log.
+     */
+    const RunLog& drain();
+
+    /** The run log (empty before `drain()`). */
+    const RunLog& log() const { return log_; }
+
+    /** Aggregate service metrics over the fleet (post-drain). */
+    FarmMetrics metrics() const { return log_.metrics(fleet_); }
+
+    /** The fleet, in id order. */
+    const std::vector<Server>& fleet() const { return fleet_; }
+
+    /** The calibrated predictor (fully populated after `drain()`). */
+    const Predictor& predictor() const { return predictor_; }
+
+    /** Effective worker count. */
+    int workers() const;
+
+    /**
+     * Stops the worker pool. A subsequent `drain()` executes inline on
+     * the calling thread (the serial path); already-drained farms are
+     * unaffected.
+     */
+    void stop();
+
+    const FarmOptions& options() const { return options_; }
+
+    /**
+     * Registers every probe code site the codec can emit by running a
+     * short warm-up transcode per kernel family, once per process.
+     * Called by `drain()`; exposed so benchmarks can pre-warm outside
+     * the timed region. Site registration order — and therefore the
+     * virtual code layout — must not depend on worker interleaving, so
+     * all registration happens here, serially, before any parallelism.
+     */
+    static void warmupProcess();
+
+  private:
+    struct Attempt; // Planning/execution record (internal).
+
+    void characterize(const std::vector<Job>& jobs);
+    std::vector<Attempt> plan(std::vector<Job> jobs);
+    void execute(const std::vector<Attempt>& attempts);
+    void account(const std::vector<Job>& jobs,
+                 const std::vector<Attempt>& attempts);
+
+    FarmOptions options_;
+    std::vector<Server> fleet_;
+    std::unique_ptr<WorkerPool> pool_;
+    Predictor predictor_;
+    FaultInjector injector_;
+    RunLog log_;
+
+    mutable std::mutex submit_mu_;
+    std::vector<Job> intake_;
+    uint64_t next_id_ = 1;
+    bool drained_ = false;
+
+    std::map<std::string, sched::Task> key_tasks_; ///< Signature -> task.
+    std::set<uint64_t> shed_ids_;                  ///< Rejected at admission.
+
+    // Execution-phase result cache: (task key, config name) -> result.
+    std::map<std::pair<std::string, std::string>, core::RunResult> results_;
+    std::mutex results_mu_;
+};
+
+} // namespace vtrans::farm
+
+#endif // VTRANS_FARM_FARM_H_

@@ -1,0 +1,30 @@
+#include "farm/job.h"
+
+namespace vtrans::farm {
+
+std::string
+toString(JobState state)
+{
+    switch (state) {
+      case JobState::Pending:
+        return "pending";
+      case JobState::Running:
+        return "running";
+      case JobState::Done:
+        return "done";
+      case JobState::Failed:
+        return "failed";
+      case JobState::Shed:
+        return "shed";
+    }
+    return "?";
+}
+
+std::string
+Job::key() const
+{
+    return task.video + "/" + task.preset + "/c" + std::to_string(task.crf)
+           + "/r" + std::to_string(task.refs);
+}
+
+} // namespace vtrans::farm

@@ -1,0 +1,233 @@
+#include "farm/queue.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/status.h"
+
+namespace vtrans::farm {
+
+std::string
+toString(QueuePolicy policy)
+{
+    switch (policy) {
+      case QueuePolicy::Fifo:
+        return "fifo";
+      case QueuePolicy::Priority:
+        return "priority";
+      case QueuePolicy::Edf:
+        return "edf";
+    }
+    return "?";
+}
+
+QueuePolicy
+queuePolicyFromName(const std::string& name)
+{
+    if (name == "fifo") {
+        return QueuePolicy::Fifo;
+    }
+    if (name == "priority") {
+        return QueuePolicy::Priority;
+    }
+    if (name == "edf") {
+        return QueuePolicy::Edf;
+    }
+    VT_FATAL("unknown queue policy: ", name, " (fifo, priority, edf)");
+}
+
+namespace {
+
+/** Deadline key: deadline-less jobs sort after every real deadline. */
+double
+deadlineKey(const Job& job)
+{
+    return job.deadline > 0.0 ? job.deadline
+                              : std::numeric_limits<double>::infinity();
+}
+
+} // namespace
+
+JobQueue::JobQueue(QueuePolicy policy, size_t capacity)
+    : policy_(policy), capacity_(capacity)
+{
+    VT_ASSERT(capacity > 0, "job queue needs non-zero capacity");
+}
+
+bool
+JobQueue::before(const Job& a, const Job& b) const
+{
+    switch (policy_) {
+      case QueuePolicy::Priority:
+        if (a.priority != b.priority) {
+            return a.priority > b.priority;
+        }
+        break;
+      case QueuePolicy::Edf:
+        if (deadlineKey(a) != deadlineKey(b)) {
+            return deadlineKey(a) < deadlineKey(b);
+        }
+        break;
+      case QueuePolicy::Fifo:
+        break;
+    }
+    if (a.ready_time != b.ready_time) {
+        return a.ready_time < b.ready_time;
+    }
+    return a.id < b.id;
+}
+
+int
+JobQueue::bestIndex(double now) const
+{
+    int best = -1;
+    for (size_t i = 0; i < jobs_.size(); ++i) {
+        if (jobs_[i].ready_time > now) {
+            continue;
+        }
+        if (best < 0 || before(jobs_[i], jobs_[best])) {
+            best = static_cast<int>(i);
+        }
+    }
+    return best;
+}
+
+bool
+JobQueue::tryPush(Job job)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || jobs_.size() >= capacity_) {
+        return false;
+    }
+    jobs_.push_back(std::move(job));
+    not_empty_.notify_one();
+    return true;
+}
+
+bool
+JobQueue::waitPush(Job job)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || jobs_.size() < capacity_; });
+    if (closed_) {
+        return false;
+    }
+    jobs_.push_back(std::move(job));
+    not_empty_.notify_one();
+    return true;
+}
+
+std::optional<Job>
+JobQueue::tryPop()
+{
+    return tryPop(std::numeric_limits<double>::infinity());
+}
+
+std::optional<Job>
+JobQueue::tryPop(double now)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const int best = bestIndex(now);
+    if (best < 0) {
+        return std::nullopt;
+    }
+    Job job = std::move(jobs_[best]);
+    jobs_.erase(jobs_.begin() + best);
+    not_full_.notify_one();
+    return job;
+}
+
+std::optional<Job>
+JobQueue::waitPop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !jobs_.empty(); });
+    const int best =
+        bestIndex(std::numeric_limits<double>::infinity());
+    if (best < 0) {
+        return std::nullopt; // Closed and drained.
+    }
+    Job job = std::move(jobs_[best]);
+    jobs_.erase(jobs_.begin() + best);
+    not_full_.notify_one();
+    return job;
+}
+
+std::vector<Job>
+JobQueue::peekWindow(double now, size_t limit) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Job> eligible;
+    for (const Job& job : jobs_) {
+        if (job.ready_time <= now) {
+            eligible.push_back(job);
+        }
+    }
+    std::sort(eligible.begin(), eligible.end(),
+              [this](const Job& a, const Job& b) { return before(a, b); });
+    if (eligible.size() > limit) {
+        eligible.resize(limit);
+    }
+    return eligible;
+}
+
+bool
+JobQueue::remove(uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < jobs_.size(); ++i) {
+        if (jobs_[i].id == id) {
+            jobs_.erase(jobs_.begin() + i);
+            not_full_.notify_one();
+            return true;
+        }
+    }
+    return false;
+}
+
+std::optional<double>
+JobQueue::nextReadyAfter(double now) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::optional<double> next;
+    for (const Job& job : jobs_) {
+        if (job.ready_time > now
+            && (!next || job.ready_time < *next)) {
+            next = job.ready_time;
+        }
+    }
+    return next;
+}
+
+void
+JobQueue::close()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+}
+
+size_t
+JobQueue::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return jobs_.size();
+}
+
+bool
+JobQueue::empty() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return jobs_.empty();
+}
+
+bool
+JobQueue::closed() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+}
+
+} // namespace vtrans::farm

@@ -1,0 +1,102 @@
+#ifndef VTRANS_FARM_QUEUE_H_
+#define VTRANS_FARM_QUEUE_H_
+
+/**
+ * @file
+ * A thread-safe bounded MPMC job queue with admission control and
+ * pluggable ordering policies:
+ *  - Fifo: by ready time (arrival order; retries re-enter when ready);
+ *  - Priority: higher priority first, FIFO within a class;
+ *  - Edf: earliest absolute deadline first (deadline-less jobs last).
+ *
+ * Two usage modes share one implementation:
+ *  - MPMC mode: producers `waitPush`/`tryPush`, consumers `waitPop`;
+ *    `close()` releases all waiters (a pop on a closed empty queue
+ *    returns nullopt). This is the concurrent submission path.
+ *  - Simulation mode: the farm's discrete-event dispatcher uses the
+ *    time-aware calls (`tryPop(now)`, `peekWindow`, `nextReadyAfter`) to
+ *    pop only jobs whose ready time has arrived in simulated time.
+ */
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "farm/job.h"
+
+namespace vtrans::farm {
+
+/** Orderings a queue can serve jobs in. */
+enum class QueuePolicy : uint8_t { Fifo, Priority, Edf };
+
+/** Human-readable policy name ("fifo", "priority", "edf"). */
+std::string toString(QueuePolicy policy);
+/** Parses a policy name; fatal error on an unknown name. */
+QueuePolicy queuePolicyFromName(const std::string& name);
+
+/** Thread-safe bounded MPMC queue of jobs (see file comment). */
+class JobQueue
+{
+  public:
+    /** Creates a queue serving `policy` with room for `capacity` jobs. */
+    JobQueue(QueuePolicy policy, size_t capacity);
+
+    /** Enqueues if there is room; false = shed (queue full or closed). */
+    bool tryPush(Job job);
+
+    /** Blocks while full; false only if the queue was closed. */
+    bool waitPush(Job job);
+
+    /** Pops the best job per policy, ignoring ready times. */
+    std::optional<Job> tryPop();
+
+    /** Pops the best job per policy with ready_time <= now. */
+    std::optional<Job> tryPop(double now);
+
+    /** Blocks until a job is available or the queue is closed and empty. */
+    std::optional<Job> waitPop();
+
+    /**
+     * The first `limit` eligible jobs (ready_time <= now) in policy
+     * order — the dispatcher's matching window. Returns copies.
+     */
+    std::vector<Job> peekWindow(double now, size_t limit) const;
+
+    /** Removes the job with the given id; false if not present. */
+    bool remove(uint64_t id);
+
+    /** Smallest ready_time strictly greater than `now` (or nullopt). */
+    std::optional<double> nextReadyAfter(double now) const;
+
+    /** Marks the queue closed: pushes fail, waiters wake. */
+    void close();
+
+    size_t size() const;
+    bool empty() const;
+    size_t capacity() const { return capacity_; }
+    QueuePolicy policy() const { return policy_; }
+    bool closed() const;
+
+  private:
+    /** True if `a` should be served before `b` under the policy. */
+    bool before(const Job& a, const Job& b) const;
+
+    /** Index of the best eligible job, or -1 (mu_ must be held). */
+    int bestIndex(double now) const;
+
+    QueuePolicy policy_;
+    size_t capacity_;
+
+    mutable std::mutex mu_;
+    std::condition_variable not_empty_;
+    std::condition_variable not_full_;
+    std::vector<Job> jobs_;
+    bool closed_ = false;
+};
+
+} // namespace vtrans::farm
+
+#endif // VTRANS_FARM_QUEUE_H_

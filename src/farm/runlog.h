@@ -1,0 +1,130 @@
+#ifndef VTRANS_FARM_RUNLOG_H_
+#define VTRANS_FARM_RUNLOG_H_
+
+/**
+ * @file
+ * Run-log observability for the farm: one structured record per job
+ * (JSON-lines serializable) plus aggregate service metrics — throughput,
+ * latency percentiles, per-server utilization, shed/failed counts, and
+ * prediction error — printable via the common table writer.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/workload.h"
+#include "farm/job.h"
+#include "farm/server.h"
+#include "uarch/core.h"
+
+namespace vtrans::farm {
+
+/**
+ * A stable 64-bit FNV-1a digest over every scalar a run produced (core
+ * counters, Top-down slots, encode statistics, derived rates). Two runs
+ * fingerprint equal iff their results are bit-identical — the check the
+ * determinism-under-concurrency tests rely on.
+ */
+uint64_t fingerprint(const core::RunResult& result);
+
+/** Everything the farm logs about one job. */
+struct JobRecord
+{
+    uint64_t id = 0;
+    std::string video;
+    std::string preset;
+    int crf = 0;
+    int refs = 0;
+    int priority = 0;
+    JobState state = JobState::Pending;
+
+    int server = -1;          ///< Fleet id of the final attempt (-1: shed).
+    std::string server_name;  ///< "be_op1#0" (empty: shed).
+    int attempts = 0;         ///< Dispatches, including the final one.
+
+    // Simulated-time trajectory (seconds since farm start).
+    double submit = 0.0;
+    double start = 0.0;       ///< First dispatch.
+    double finish = 0.0;      ///< Final attempt completed (or failed).
+    double queue_wait = 0.0;  ///< start - submit.
+    double deadline = 0.0;    ///< 0 = none.
+
+    double predicted_seconds = 0.0; ///< Dispatch-time prediction (final).
+    double actual_seconds = 0.0;    ///< Measured simulated transcode time.
+
+    // Measured outcome of the final successful attempt.
+    double psnr = 0.0;
+    double bitrate_kbps = 0.0;
+    uarch::TopDown topdown;
+    uint64_t result_fingerprint = 0;
+
+    /** finish - submit (the service latency). */
+    double latency() const { return finish - submit; }
+    /** True if the job completed and made its deadline (or had none). */
+    bool deadlineMet() const;
+};
+
+/** Aggregate farm service metrics derived from the records. */
+struct FarmMetrics
+{
+    size_t submitted = 0;
+    size_t completed = 0;
+    size_t failed = 0;
+    size_t shed = 0;
+    size_t retries = 0;         ///< Extra attempts beyond the first.
+
+    double makespan = 0.0;      ///< Last finish (simulated seconds).
+    double throughput = 0.0;    ///< Completed jobs per simulated second.
+    double mean_latency = 0.0;
+    double p50_latency = 0.0;
+    double p95_latency = 0.0;
+    double p99_latency = 0.0;
+    double mean_queue_wait = 0.0;
+    double mean_prediction_error = 0.0; ///< Mean |pred - actual| / actual.
+    size_t deadline_misses = 0;
+
+    std::vector<double> server_busy;        ///< Busy sim-seconds per server.
+    std::vector<size_t> server_jobs;        ///< Attempts per server.
+    std::vector<std::string> server_names;
+
+    /** Busy fraction of a server over the makespan. */
+    double utilization(size_t server) const;
+};
+
+/** The farm's structured run log. */
+class RunLog
+{
+  public:
+    /** Appends one job record. */
+    void add(JobRecord record);
+
+    /** All records, in completion order. */
+    const std::vector<JobRecord>& records() const { return records_; }
+
+    /** The record of a job id (fatal if absent). */
+    const JobRecord& record(uint64_t job_id) const;
+
+    /** Computes aggregate metrics over the fleet. */
+    FarmMetrics metrics(const std::vector<Server>& fleet) const;
+
+    /** One JSON object per record, newline separated. */
+    std::string toJsonl() const;
+
+    /** Writes the JSON-lines log to a file (fatal on I/O error). */
+    void writeJsonl(const std::string& path) const;
+
+    /** Renders the aggregate metrics as a printable table. */
+    Table metricsTable(const std::vector<Server>& fleet) const;
+
+    /** The p-th percentile (0..100) of a sample by linear interpolation. */
+    static double percentile(std::vector<double> values, double p);
+
+  private:
+    std::vector<JobRecord> records_;
+};
+
+} // namespace vtrans::farm
+
+#endif // VTRANS_FARM_RUNLOG_H_

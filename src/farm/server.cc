@@ -1,0 +1,124 @@
+#include "farm/server.h"
+
+#include "common/status.h"
+
+namespace vtrans::farm {
+
+std::vector<Server>
+makeFleet(const std::vector<uarch::CoreParams>& pool, int replicas)
+{
+    VT_ASSERT(!pool.empty(), "farm fleet needs at least one config");
+    VT_ASSERT(replicas >= 1, "farm fleet needs at least one replica");
+    std::vector<Server> fleet;
+    int id = 0;
+    for (const auto& core : pool) {
+        for (int r = 0; r < replicas; ++r) {
+            Server s;
+            s.id = id++;
+            s.config = core.name;
+            s.name = core.name + "#" + std::to_string(r);
+            s.replica = r;
+            s.core = core;
+            fleet.push_back(std::move(s));
+        }
+    }
+    return fleet;
+}
+
+core::RunResult
+runOnServer(const Server& server, const sched::Task& task,
+            double clip_seconds)
+{
+    core::RunConfig run;
+    run.video = task.video;
+    run.seconds = clip_seconds;
+    run.params = task.params();
+    run.core = server.core;
+    return core::runInstrumented(run);
+}
+
+WorkerPool::WorkerPool(int workers) : workers_(workers < 1 ? 1 : workers)
+{
+    // A single-worker pool runs batches inline: no threads, and the
+    // execution order is exactly the batch order (the serial reference).
+    if (workers_ == 1) {
+        return;
+    }
+    threads_.reserve(workers_);
+    for (int i = 0; i < workers_; ++i) {
+        threads_.emplace_back([this] { workerMain(); });
+    }
+}
+
+WorkerPool::~WorkerPool()
+{
+    stop();
+}
+
+void
+WorkerPool::workerMain()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    uint64_t seen_generation = 0;
+    while (true) {
+        work_cv_.wait(lock, [&] {
+            return stopping_
+                   || (batch_ != nullptr && generation_ != seen_generation);
+        });
+        if (stopping_) {
+            return;
+        }
+        seen_generation = generation_;
+        while (batch_ != nullptr && next_ < batch_->size()) {
+            auto& task = (*batch_)[next_++];
+            ++running_;
+            lock.unlock();
+            task();
+            lock.lock();
+            --running_;
+        }
+        if (batch_ != nullptr && next_ >= batch_->size() && running_ == 0) {
+            done_cv_.notify_all();
+        }
+    }
+}
+
+void
+WorkerPool::run(std::vector<std::function<void()>> tasks)
+{
+    if (tasks.empty()) {
+        return;
+    }
+    if (threads_.empty()) {
+        for (auto& task : tasks) {
+            task();
+        }
+        return;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    batch_ = &tasks;
+    next_ = 0;
+    ++generation_;
+    work_cv_.notify_all();
+    done_cv_.wait(lock,
+                  [&] { return next_ >= tasks.size() && running_ == 0; });
+    batch_ = nullptr;
+}
+
+void
+WorkerPool::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+        work_cv_.notify_all();
+    }
+    for (auto& t : threads_) {
+        if (t.joinable()) {
+            t.join();
+        }
+    }
+    threads_.clear();
+}
+
+} // namespace vtrans::farm

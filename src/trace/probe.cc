@@ -4,7 +4,7 @@
 
 namespace vtrans::trace {
 
-ProbeSink* g_sink = nullptr;
+thread_local ProbeSink* g_sink = nullptr;
 
 void
 setSink(ProbeSink* sink)
@@ -22,7 +22,7 @@ registry()
 SimArena&
 arena()
 {
-    static SimArena instance;
+    thread_local SimArena instance;
     return instance;
 }
 
@@ -31,6 +31,7 @@ SiteRegistry::define(std::string name, uint32_t bytes, uint32_t instructions,
                      SiteKind kind)
 {
     VT_ASSERT(bytes > 0, "code site must have non-zero size: ", name);
+    std::lock_guard<std::mutex> lock(mu_);
     auto* site = new CodeSite;
     site->id = static_cast<uint32_t>(sites_.size());
     site->name = std::move(name);
@@ -46,6 +47,7 @@ SiteRegistry::define(std::string name, uint32_t bytes, uint32_t instructions,
 void
 SiteRegistry::resetLayout()
 {
+    std::lock_guard<std::mutex> lock(mu_);
     uint64_t addr = kTextBase;
     for (CodeSite* site : sites_) {
         site->address = addr;

@@ -20,6 +20,7 @@
  */
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -78,7 +79,12 @@ class ProbeSink
  * The global table of code sites plus the default code layout.
  *
  * Sites register once (function-local statics in kernel code) and persist
- * for the process lifetime. The default layout emulates a compiled binary
+ * for the process lifetime; registration and layout reset are mutex-guarded
+ * so worker threads may run instrumented code concurrently (site storage is
+ * stable, so readers need no lock). Registration *order* still determines
+ * the default layout — processes that run workers should register all sites
+ * serially first (see `farm::Farm::warmupProcess()`).
+ * The default layout emulates a compiled binary
  * without profile feedback: blocks appear in registration order, separated
  * by cold-code padding, so the hot working set is diluted across many
  * instruction-cache lines.
@@ -118,6 +124,7 @@ class SiteRegistry
     uint64_t defaultSpan() const { return next_address_ - kTextBase; }
 
   private:
+    std::mutex mu_; ///< Guards registration and layout reset.
     std::vector<CodeSite*> sites_;
     uint64_t next_address_ = kTextBase;
 };
@@ -125,10 +132,16 @@ class SiteRegistry
 /** The process-wide site registry. */
 SiteRegistry& registry();
 
-/** The currently attached sink (nullptr when tracing is off). */
-extern ProbeSink* g_sink;
+/**
+ * The currently attached sink (nullptr when tracing is off).
+ *
+ * Thread-local: each farm worker attaches its own core model and observes
+ * only the events its own thread emits, so concurrent instrumented runs
+ * never cross-talk.
+ */
+extern thread_local ProbeSink* g_sink;
 
-/** Attaches a sink (replacing any previous one); nullptr detaches. */
+/** Attaches a sink on this thread (replacing any); nullptr detaches. */
 void setSink(ProbeSink* sink);
 
 /** Emits a basic-block execution event. */
@@ -200,7 +213,8 @@ class SimArena
     uint64_t next_ = kHeapBase;
 };
 
-/** The process-wide simulated heap. */
+/** The simulated heap of the calling thread (one arena per thread, so
+ *  concurrent runs allocate identical, non-interfering address ranges). */
 SimArena& arena();
 
 } // namespace vtrans::trace

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI-style smoke check: configure, build, run the full test suite, then
+# exercise the transcoding-farm service end to end. Any non-zero exit
+# fails the check.
+#
+#   tools/check.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+echo "== configure =="
+cmake -B "$BUILD_DIR" -S .
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j
+
+echo "== tests =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "== farm smoke =="
+"$BUILD_DIR"/examples/transcode_farm --jobs 64 --seconds 0.15
+
+echo "== check passed =="
