@@ -15,6 +15,7 @@
 
 #include "common/cli.h"
 #include "common/status.h"
+#include "core/parallel.h"
 #include "core/studies.h"
 
 namespace vtrans::bench {
@@ -31,6 +32,8 @@ struct BenchOptions
  * Parses the standard bench flags:
  *   --video <name>    sweep video (default "funny", a 1080p-class clip)
  *   --seconds <s>     clip length per point (default 1.0)
+ *   --jobs <n>        worker threads for the sweep (default 1 = serial;
+ *                     0 = hardware concurrency)
  *   --coarse          6x5 grid (fast preview)
  *   --fine            11x8 grid (crf Delta-5, 88 points)
  *   --full            the paper's full 816-point grid
@@ -44,6 +47,7 @@ parseBenchOptions(int argc, char** argv)
     BenchOptions options;
     options.study.video = cli.str("video", "funny");
     options.study.seconds = cli.real("seconds", 0.8);
+    options.study.jobs = static_cast<int>(cli.num("jobs", 1));
     options.study.verbose = !cli.has("quiet");
     setVerbose(!cli.has("quiet"));
 
@@ -68,6 +72,22 @@ inline void
 banner(const std::string& title)
 {
     std::printf("\n==== %s ====\n\n", title.c_str());
+}
+
+/**
+ * Prints the wall-clock report of a pool-executed sweep: wall time,
+ * serial-equivalent cost (the sum of per-point wall times), and the
+ * measured speedup. `busy_seconds / wall_seconds` is what a serial run
+ * of the same points would have cost, so the speedup is measured, not
+ * estimated.
+ */
+inline void
+sweepReport(const core::SweepStats& stats)
+{
+    std::printf("\nsweep: %zu points on %d worker%s in %.2fs wall "
+                "(serial-equivalent %.2fs, speedup x%.2f)\n",
+                stats.points, stats.jobs, stats.jobs == 1 ? "" : "s",
+                stats.wall_seconds, stats.busy_seconds, stats.speedup());
 }
 
 } // namespace vtrans::bench

@@ -28,7 +28,9 @@ main(int argc, char** argv)
 
     // Measure the four corners needed to sign the six edges.
     core::StudyOptions study = options.study;
-    const auto points = core::crfRefsSweep({18, 36}, {1, 8}, study);
+    core::SweepStats stats;
+    const auto points =
+        core::parallelCrfRefsSweep({18, 36}, {1, 8}, study, &stats);
 
     auto at = [&](int crf, int refs) -> const core::RunResult& {
         for (const auto& p : points) {
@@ -83,6 +85,7 @@ main(int argc, char** argv)
     }
     std::printf("%s\nCSV:\n%s", v.toText().c_str(), v.toCsv().c_str());
 
+    bench::sweepReport(stats);
     std::printf(
         "\nPaper Fig 2 expectation: crf+ -> quality-, time-, size-;\n"
         "refs+ -> size-, time+, quality unchanged.\n");

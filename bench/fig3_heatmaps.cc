@@ -19,13 +19,15 @@ main(int argc, char** argv)
     const auto options = bench::parseBenchOptions(argc, argv);
 
     bench::banner("Figure 3: FE / BE / BS bound pipeline slots (%)");
-    std::printf("video=%s, %zu x %zu grid, %.2fs clips\n",
+    std::printf("video=%s, %zu x %zu grid, %.2fs clips, %d job(s)\n",
                 options.study.video.c_str(), options.crf_grid.size(),
-                options.refs_grid.size(), options.study.seconds);
+                options.refs_grid.size(), options.study.seconds,
+                core::resolveJobs(options.study.jobs));
 
-    const auto points = core::crfRefsSweep(options.crf_grid,
-                                           options.refs_grid,
-                                           options.study);
+    core::SweepStats stats;
+    const auto points = core::parallelCrfRefsSweep(options.crf_grid,
+                                                   options.refs_grid,
+                                                   options.study, &stats);
 
     std::vector<std::string> rows;
     for (int crf : options.crf_grid) {
@@ -68,6 +70,7 @@ main(int argc, char** argv)
                     hm.toCsv().c_str());
     }
 
+    bench::sweepReport(stats);
     std::printf(
         "\nPaper Fig 3 expectation: increasing crf and refs reduces "
         "front-end and bad-speculation bound slots and increases "

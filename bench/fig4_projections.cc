@@ -24,9 +24,10 @@ main(int argc, char** argv)
     }
 
     bench::banner("Figure 4: projections A and B");
-    const auto points = core::crfRefsSweep(options.crf_grid,
-                                           options.refs_grid,
-                                           options.study);
+    core::SweepStats stats;
+    const auto points = core::parallelCrfRefsSweep(options.crf_grid,
+                                                   options.refs_grid,
+                                                   options.study, &stats);
 
     std::printf("Projection A: quality (PSNR) vs file size (bitrate); "
                 "one line per crf, points along refs\n\n");
@@ -83,6 +84,7 @@ main(int argc, char** argv)
     }
     std::printf("%sCSV:\n%s", b.toText().c_str(), b.toCsv().c_str());
 
+    bench::sweepReport(stats);
     std::printf(
         "\nPaper Fig 4 expectation: low crf lines are longer (low crf "
         "benefits more from refs); time grows with refs with an elbow "

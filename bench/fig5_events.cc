@@ -20,13 +20,15 @@ main(int argc, char** argv)
 
     bench::banner(
         "Figure 5: microarchitectural event rates over crf x refs");
-    std::printf("video=%s, %zu x %zu grid, %.2fs clips\n",
+    std::printf("video=%s, %zu x %zu grid, %.2fs clips, %d job(s)\n",
                 options.study.video.c_str(), options.crf_grid.size(),
-                options.refs_grid.size(), options.study.seconds);
+                options.refs_grid.size(), options.study.seconds,
+                core::resolveJobs(options.study.jobs));
 
-    const auto points = core::crfRefsSweep(options.crf_grid,
-                                           options.refs_grid,
-                                           options.study);
+    core::SweepStats stats;
+    const auto points = core::parallelCrfRefsSweep(options.crf_grid,
+                                                   options.refs_grid,
+                                                   options.study, &stats);
 
     std::vector<std::string> rows;
     for (int crf : options.crf_grid) {
@@ -75,6 +77,7 @@ main(int argc, char** argv)
                     hm.toCsv().c_str());
     }
 
+    bench::sweepReport(stats);
     std::printf(
         "\nPaper Fig 5 expectation: branch MPKI decreases as crf/refs "
         "increase; data-cache MPKI and ROB/RS stalls deteriorate "

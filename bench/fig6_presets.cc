@@ -24,10 +24,12 @@ main(int argc, char** argv)
     }
 
     bench::banner("Figure 6: the ten presets at crf=23, refs=3");
-    std::printf("video=%s, %.2fs clips\n", options.study.video.c_str(),
-                options.study.seconds);
+    std::printf("video=%s, %.2fs clips, %d job(s)\n",
+                options.study.video.c_str(), options.study.seconds,
+                core::resolveJobs(options.study.jobs));
 
-    const auto results = core::presetStudy(options.study);
+    core::SweepStats stats;
+    const auto results = core::parallelPresetStudy(options.study, &stats);
 
     std::printf("\n(a) Transcoding time, bitrate, PSNR\n\n");
     Table a({"preset", "time (ms)", "bitrate (kbps)", "PSNR (dB)"});
@@ -80,6 +82,7 @@ main(int argc, char** argv)
     }
     std::printf("%sCSV:\n%s", d.toText().c_str(), d.toCsv().c_str());
 
+    bench::sweepReport(stats);
     std::printf(
         "\nPaper Fig 6 expectation: time rises along the ladder; "
         "bitrate improves sharply up to veryfast then plateaus; "

@@ -20,9 +20,11 @@ main(int argc, char** argv)
     auto options = bench::parseBenchOptions(argc, argv);
 
     bench::banner("Figure 7: across vbench videos (medium, crf=23, refs=3)");
-    std::printf("%.2fs clips\n", options.study.seconds);
+    std::printf("%.2fs clips, %d job(s)\n", options.study.seconds,
+                core::resolveJobs(options.study.jobs));
 
-    auto results = core::videoStudy(options.study);
+    core::SweepStats stats;
+    auto results = core::parallelVideoStudy(options.study, &stats);
     // Paper ordering: group by resolution class, entropy ascending within.
     std::stable_sort(results.begin(), results.end(),
                      [](const core::VideoResult& a,
@@ -77,6 +79,7 @@ main(int argc, char** argv)
     }
     std::printf("%sCSV:\n%s", c.toText().c_str(), c.toCsv().c_str());
 
+    bench::sweepReport(stats);
     std::printf(
         "\nPaper Fig 7 expectation: within a resolution group, higher "
         "entropy raises front-end and bad-speculation bound slots "

@@ -61,6 +61,42 @@ fullRefsGrid()
     return refs;
 }
 
+RunConfig
+sweepPointConfig(const StudyOptions& options, int crf, int refs)
+{
+    RunConfig config;
+    config.video = options.video;
+    config.seconds = options.seconds;
+    config.params = codec::presetParams("medium");
+    config.params.crf = crf;
+    config.params.refs = refs;
+    config.core = uarch::baselineConfig();
+    return config;
+}
+
+RunConfig
+presetPointConfig(const StudyOptions& options, const std::string& preset)
+{
+    RunConfig config;
+    config.video = options.video;
+    config.seconds = options.seconds;
+    // §III-C2: presets with the default crf (23) and refs (3).
+    config.params = codec::presetParams(preset);
+    config.core = uarch::baselineConfig();
+    return config;
+}
+
+RunConfig
+videoPointConfig(const StudyOptions& options, const std::string& video)
+{
+    RunConfig config;
+    config.video = video;
+    config.seconds = options.seconds;
+    config.params = codec::presetParams("medium"); // crf 23, refs 3
+    config.core = uarch::baselineConfig();
+    return config;
+}
+
 std::vector<SweepPoint>
 crfRefsSweep(const std::vector<int>& crf_values,
              const std::vector<int>& refs_values,
@@ -70,21 +106,13 @@ crfRefsSweep(const std::vector<int>& crf_values,
     points.reserve(crf_values.size() * refs_values.size());
     for (int crf : crf_values) {
         for (int refs : refs_values) {
-            RunConfig config;
-            config.video = options.video;
-            config.seconds = options.seconds;
-            config.params = codec::presetParams("medium");
-            config.params.crf = crf;
-            config.params.refs = refs;
-            config.core = uarch::baselineConfig();
-
             progress(options.verbose,
                      "sweep crf=" + std::to_string(crf)
                          + " refs=" + std::to_string(refs));
             SweepPoint point;
             point.crf = crf;
             point.refs = refs;
-            point.run = runInstrumented(config);
+            point.run = runInstrumented(sweepPointConfig(options, crf, refs));
             points.push_back(std::move(point));
         }
     }
@@ -96,17 +124,10 @@ presetStudy(const StudyOptions& options)
 {
     std::vector<PresetResult> results;
     for (const auto& preset : codec::presetNames()) {
-        RunConfig config;
-        config.video = options.video;
-        config.seconds = options.seconds;
-        // §III-C2: presets with the default crf (23) and refs (3).
-        config.params = codec::presetParams(preset);
-        config.core = uarch::baselineConfig();
-
         progress(options.verbose, "preset " + preset);
         PresetResult result;
         result.preset = preset;
-        result.run = runInstrumented(config);
+        result.run = runInstrumented(presetPointConfig(options, preset));
         results.push_back(std::move(result));
     }
     return results;
@@ -117,18 +138,12 @@ videoStudy(const StudyOptions& options)
 {
     std::vector<VideoResult> results;
     for (const auto& spec : video::vbenchCorpus()) {
-        RunConfig config;
-        config.video = spec.name;
-        config.seconds = options.seconds;
-        config.params = codec::presetParams("medium"); // crf 23, refs 3
-        config.core = uarch::baselineConfig();
-
         progress(options.verbose, "video " + spec.name);
         VideoResult result;
         result.video = spec.name;
         result.resolution_class = spec.resolution_class;
         result.entropy = spec.entropy;
-        result.run = runInstrumented(config);
+        result.run = runInstrumented(videoPointConfig(options, spec.name));
         results.push_back(std::move(result));
     }
     return results;

@@ -34,7 +34,25 @@ struct StudyOptions
     std::string video = "funny"; ///< Sweep video (1080p class by default).
     double seconds = 1.0;        ///< Clip length per point.
     bool verbose = false;        ///< Progress to stderr.
+    int jobs = 1;                ///< Worker threads for the parallel
+                                 ///< runners (core/parallel.h); < 1 means
+                                 ///< hardware concurrency.
 };
+
+/**
+ * The `RunConfig` of one crf x refs sweep point (medium preset, baseline
+ * core). The serial and parallel sweep runners both build their points
+ * through this, so the two paths run bit-identical configurations.
+ */
+RunConfig sweepPointConfig(const StudyOptions& options, int crf, int refs);
+
+/** The `RunConfig` of one preset-study point (crf 23, refs 3). */
+RunConfig presetPointConfig(const StudyOptions& options,
+                            const std::string& preset);
+
+/** The `RunConfig` of one video-study point (medium, crf 23, refs 3). */
+RunConfig videoPointConfig(const StudyOptions& options,
+                           const std::string& video);
 
 /** Figures 3/4/5: sweep crf x refs at the medium preset. */
 std::vector<SweepPoint> crfRefsSweep(const std::vector<int>& crf_values,

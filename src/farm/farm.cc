@@ -23,16 +23,15 @@ struct Farm::Attempt
     bool failed = false;      ///< Fault-injector verdict.
 };
 
-namespace {
-
-/** Exponential backoff before retry `number + 1`. */
 double
-backoffAfter(double base, int attempt_number)
+backoffAfter(const FarmOptions& options, int attempt_number)
 {
-    return base * std::pow(2.0, attempt_number);
+    // The unclamped term overflows to inf past attempt ~1070; std::min
+    // pins that (and every merely absurd finite value) to the ceiling.
+    const double raw =
+        options.backoff_base * std::pow(2.0, attempt_number);
+    return std::min(raw, options.backoff_max);
 }
-
-} // namespace
 
 void
 Farm::warmupProcess()
@@ -299,8 +298,7 @@ Farm::plan(std::vector<Job> jobs)
             const int number = job.attempts++;
             if (fails && number < job.retry_budget) {
                 job.ready_time =
-                    t + predicted
-                    + backoffAfter(options_.backoff_base, number);
+                    t + predicted + backoffAfter(options_, number);
                 retries.push_back(job);
             }
         }
@@ -433,8 +431,7 @@ Farm::account(const std::vector<Job>& jobs,
         rec.topdown = result.core.topdown();
         rec.result_fingerprint = fingerprint(result);
         if (a.failed) {
-            ready[a.job_id] =
-                finish + backoffAfter(options_.backoff_base, a.number);
+            ready[a.job_id] = finish + backoffAfter(options_, a.number);
             rec.state = a.number < budgets.at(a.job_id)
                             ? JobState::Pending
                             : JobState::Failed;

@@ -69,10 +69,21 @@ struct FarmOptions
     double fault_rate = 0.0;      ///< Probability an attempt fails.
     uint64_t fault_seed = 0x5eedull;
     double backoff_base = 0.02;   ///< Simulated seconds; doubles per retry.
+    double backoff_max = 2.0;     ///< Backoff ceiling (simulated seconds);
+                                  ///< keeps deep retry budgets from pushing
+                                  ///< retry expiry off the event clock.
 
     uint64_t rng_seed = 0x7a57ull; ///< Seed of the Random dispatch policy.
     bool verbose = false;
 };
+
+/**
+ * Simulated-seconds backoff before retry `attempt_number + 1`:
+ * exponential (`backoff_base * 2^attempt_number`) clamped to
+ * `backoff_max`, so retry expiry stays bounded — and finite — for any
+ * retry budget.
+ */
+double backoffAfter(const FarmOptions& options, int attempt_number);
 
 /** A job as submitted by a client (the farm assigns ids and bookkeeping). */
 struct JobRequest

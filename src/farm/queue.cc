@@ -158,18 +158,27 @@ std::vector<Job>
 JobQueue::peekWindow(double now, size_t limit) const
 {
     std::lock_guard<std::mutex> lock(mu_);
-    std::vector<Job> eligible;
+    // Select the first `limit` jobs in policy order without copying (or
+    // fully sorting) every eligible job: this runs on the dispatch hot
+    // path once per planner tick, against a potentially deep backlog.
+    std::vector<const Job*> eligible;
     for (const Job& job : jobs_) {
         if (job.ready_time <= now) {
-            eligible.push_back(job);
+            eligible.push_back(&job);
         }
     }
-    std::sort(eligible.begin(), eligible.end(),
-              [this](const Job& a, const Job& b) { return before(a, b); });
-    if (eligible.size() > limit) {
-        eligible.resize(limit);
+    const size_t take = std::min(limit, eligible.size());
+    std::partial_sort(eligible.begin(), eligible.begin() + take,
+                      eligible.end(),
+                      [this](const Job* a, const Job* b) {
+                          return before(*a, *b);
+                      });
+    std::vector<Job> window;
+    window.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+        window.push_back(*eligible[i]);
     }
-    return eligible;
+    return window;
 }
 
 bool

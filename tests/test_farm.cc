@@ -9,10 +9,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <set>
 #include <thread>
 #include <vector>
 
+#include "codec/params.h"
 #include "core/workload.h"
 #include "farm/dispatch.h"
 #include "farm/farm.h"
@@ -266,6 +268,58 @@ TEST(Dispatch, SmartDeadlineFallsBackToFasterServer)
               1);
 }
 
+TEST(Backoff, ExponentialUntilClampedAtCeiling)
+{
+    FarmOptions options;
+    options.backoff_base = 0.02;
+    options.backoff_max = 2.0;
+    EXPECT_DOUBLE_EQ(backoffAfter(options, 0), 0.02);
+    EXPECT_DOUBLE_EQ(backoffAfter(options, 1), 0.04);
+    EXPECT_DOUBLE_EQ(backoffAfter(options, 6), 1.28);
+    // 0.02 * 2^7 = 2.56 crosses the ceiling: clamped from here on.
+    EXPECT_DOUBLE_EQ(backoffAfter(options, 7), 2.0);
+    EXPECT_DOUBLE_EQ(backoffAfter(options, 63), 2.0);
+    // Past attempt ~1070 the unclamped term overflows to inf; the clamp
+    // must keep the event clock finite regardless.
+    EXPECT_DOUBLE_EQ(backoffAfter(options, 2000), 2.0);
+}
+
+TEST(RunLog, PercentileEdgeCases)
+{
+    EXPECT_DOUBLE_EQ(RunLog::percentile({}, 50.0), 0.0);
+    EXPECT_DOUBLE_EQ(RunLog::percentile({7.5}, 0.0), 7.5);
+    EXPECT_DOUBLE_EQ(RunLog::percentile({7.5}, 50.0), 7.5);
+    EXPECT_DOUBLE_EQ(RunLog::percentile({7.5}, 100.0), 7.5);
+    // Unsorted input is sorted internally.
+    EXPECT_DOUBLE_EQ(RunLog::percentile({3.0, 1.0, 2.0}, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(RunLog::percentile({3.0, 1.0, 2.0}, 50.0), 2.0);
+    EXPECT_DOUBLE_EQ(RunLog::percentile({3.0, 1.0, 2.0}, 100.0), 3.0);
+    // Linear interpolation between ranks.
+    EXPECT_DOUBLE_EQ(RunLog::percentile({1.0, 2.0, 3.0, 4.0}, 25.0), 1.75);
+    EXPECT_DOUBLE_EQ(RunLog::percentile({1.0, 2.0, 3.0, 4.0}, 50.0), 2.5);
+    // Out-of-range p clamps to the extremes instead of indexing out.
+    EXPECT_DOUBLE_EQ(RunLog::percentile({1.0, 2.0}, -10.0), 1.0);
+    EXPECT_DOUBLE_EQ(RunLog::percentile({1.0, 2.0}, 400.0), 2.0);
+}
+
+TEST(RunLog, FingerprintStableAcrossIdenticalRuns)
+{
+    Farm::warmupProcess();
+    core::RunConfig config;
+    config.video = "cat";
+    config.seconds = 0.1;
+    config.params = codec::presetParams("fast");
+    config.core = uarch::baselineConfig();
+    const auto first = core::runInstrumented(config);
+    const auto second = core::runInstrumented(config);
+    EXPECT_NE(fingerprint(first), 0u);
+    EXPECT_EQ(fingerprint(first), fingerprint(second));
+    // A different parameter point produces a different digest.
+    config.params.crf = 40;
+    EXPECT_NE(fingerprint(core::runInstrumented(config)),
+              fingerprint(first));
+}
+
 TEST(FaultInjector, DeterministicPerAttemptAndCloseToRate)
 {
     const FaultInjector inject(0.1, 0xabcdeull);
@@ -334,6 +388,28 @@ TEST(Farm, RetriesExhaustBudgetAndReportFailed)
     EXPECT_EQ(m.failed, 3u);
     EXPECT_EQ(m.completed, 0u);
     EXPECT_EQ(m.retries, 6u);
+}
+
+TEST(Backoff, DeepRetryBudgetKeepsRetryExpiryBounded)
+{
+    FarmOptions options = fastOptions();
+    options.fault_rate = 1.0; // Every attempt fails: budget fully drains.
+    options.backoff_max = 0.05;
+    Farm service(options);
+    JobRequest req;
+    req.task = {"cat", 23, 3, "ultrafast"};
+    req.retry_budget = 64;
+    service.submit(req);
+    const RunLog& log = service.drain();
+    ASSERT_EQ(log.records().size(), 1u);
+    const JobRecord& rec = log.records().front();
+    EXPECT_EQ(rec.state, JobState::Failed);
+    EXPECT_EQ(rec.attempts, 65); // Initial try + 64 retries.
+    ASSERT_TRUE(std::isfinite(rec.finish));
+    // Unclamped, the backoff sum alone would be 0.02 * (2^64 - 1)
+    // simulated seconds (~10^17); bounded, 65 attempts plus 64 waits of
+    // at most 0.05s stay within ordinary service time.
+    EXPECT_LT(rec.finish, rec.submit + 65 * 1.0 + 64 * 0.05);
 }
 
 TEST(Farm, PartialFaultsEveryJobAccountedFor)

@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
-# CI-style smoke check: configure, build, run the full test suite, then
-# exercise the transcoding-farm service end to end. Any non-zero exit
-# fails the check.
+# CI-style smoke check: configure, build, run the full test suite,
+# exercise the transcoding-farm service end to end, then rebuild the
+# cross-thread suites under ThreadSanitizer (VTRANS_SANITIZE=thread) and
+# rerun them. Any non-zero exit fails the check.
 #
 #   tools/check.sh [build-dir]
+#
+# VTRANS_SKIP_TSAN=1 skips the sanitizer pass (e.g. on toolchains
+# without tsan runtime support).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,5 +24,17 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
 echo "== farm smoke =="
 "$BUILD_DIR"/examples/transcode_farm --jobs 64 --seconds 0.15
+
+echo "== parallel sweep smoke =="
+"$BUILD_DIR"/bench/fig3_heatmaps --coarse --seconds 0.1 --jobs 4 --quiet
+
+if [[ "${VTRANS_SKIP_TSAN:-0}" != 1 ]]; then
+    echo "== thread-sanitizer: farm + parallel sweep =="
+    TSAN_DIR="${BUILD_DIR}-tsan"
+    cmake -B "$TSAN_DIR" -S . -DVTRANS_SANITIZE=thread
+    cmake --build "$TSAN_DIR" -j --target test_farm test_parallel_sweep
+    "$TSAN_DIR"/tests/test_farm
+    "$TSAN_DIR"/tests/test_parallel_sweep
+fi
 
 echo "== check passed =="
