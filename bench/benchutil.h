@@ -17,6 +17,9 @@
 #include "common/status.h"
 #include "core/parallel.h"
 #include "core/studies.h"
+#include "obs/hotspots.h"
+#include "obs/metrics.h"
+#include "obs/spans.h"
 
 namespace vtrans::bench {
 
@@ -26,7 +29,20 @@ struct BenchOptions
     core::StudyOptions study;
     std::vector<int> crf_grid;
     std::vector<int> refs_grid;
+
+    bool hotspots = false;    ///< Print the hotspot table after the run.
+    std::string hotspots_out; ///< Hotspot JSON report path ("" = none).
+    std::string trace_out;    ///< Chrome trace JSON path ("" = none).
+    bool metrics = false;     ///< Dump the Prometheus exposition.
 };
+
+/** The tracer wall-time sweep spans land in when --trace-out is set. */
+inline obs::SpanTracer&
+benchTracer()
+{
+    static obs::SpanTracer tracer;
+    return tracer;
+}
 
 /**
  * Parses the standard bench flags:
@@ -38,6 +54,11 @@ struct BenchOptions
  *   --fine            11x8 grid (crf Delta-5, 88 points)
  *   --full            the paper's full 816-point grid
  *   --quiet           suppress progress
+ * Observability (see observabilityReport()):
+ *   --hotspots        collect + print the VTune-style hotspot table
+ *   --hotspots-out <p> collect + write the hotspot report as JSON
+ *   --trace-out <p>   export sweep stage spans as Chrome trace JSON
+ *   --metrics         dump the Prometheus-style metrics exposition
  * Default grid: 8x5 (40 points).
  */
 inline BenchOptions
@@ -64,6 +85,17 @@ parseBenchOptions(int argc, char** argv)
         options.crf_grid = {1, 8, 15, 22, 29, 36, 43, 50};
         options.refs_grid = {1, 2, 4, 8, 16};
     }
+
+    options.hotspots = cli.has("hotspots");
+    options.hotspots_out = cli.str("hotspots-out", "");
+    options.trace_out = cli.str("trace-out", "");
+    options.metrics = cli.has("metrics");
+    if (options.hotspots || !options.hotspots_out.empty()) {
+        obs::setHotspotsEnabled(true);
+    }
+    if (!options.trace_out.empty()) {
+        obs::setGlobalTracer(&benchTracer());
+    }
     return options;
 }
 
@@ -88,6 +120,46 @@ sweepReport(const core::SweepStats& stats)
                 "(serial-equivalent %.2fs, speedup x%.2f)\n",
                 stats.points, stats.jobs, stats.jobs == 1 ? "" : "s",
                 stats.wall_seconds, stats.busy_seconds, stats.speedup());
+}
+
+/**
+ * Emits whatever observability output the flags requested: the hotspot
+ * table (--hotspots), the hotspot JSON report (--hotspots-out), the
+ * Chrome trace of the sweep's stage spans (--trace-out), and the
+ * Prometheus metrics exposition (--metrics). Call once, after the
+ * bench's sweeps have run. Export failures are reported, not fatal —
+ * the bench's results have already been printed.
+ */
+inline void
+observabilityReport(const BenchOptions& options)
+{
+    if (options.hotspots) {
+        banner("hotspots");
+        std::printf("%s\n", obs::hotspotReport().table().c_str());
+    }
+    if (!options.hotspots_out.empty()) {
+        if (obs::hotspotReport().writeJson(options.hotspots_out)) {
+            std::printf("hotspot report: %s\n",
+                        options.hotspots_out.c_str());
+        } else {
+            std::printf("hotspot report NOT written (cannot open %s)\n",
+                        options.hotspots_out.c_str());
+        }
+    }
+    if (!options.trace_out.empty()) {
+        obs::setGlobalTracer(nullptr);
+        if (benchTracer().writeChromeTrace(options.trace_out)) {
+            std::printf("chrome trace: %s (%zu spans)\n",
+                        options.trace_out.c_str(), benchTracer().size());
+        } else {
+            std::printf("chrome trace NOT written (cannot open %s)\n",
+                        options.trace_out.c_str());
+        }
+    }
+    if (options.metrics) {
+        banner("metrics");
+        std::printf("%s", obs::metrics().exposition().c_str());
+    }
 }
 
 } // namespace vtrans::bench

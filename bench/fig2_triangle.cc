@@ -86,6 +86,7 @@ main(int argc, char** argv)
     std::printf("%s\nCSV:\n%s", v.toText().c_str(), v.toCsv().c_str());
 
     bench::sweepReport(stats);
+    bench::observabilityReport(options);
     std::printf(
         "\nPaper Fig 2 expectation: crf+ -> quality-, time-, size-;\n"
         "refs+ -> size-, time+, quality unchanged.\n");

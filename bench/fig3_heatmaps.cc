@@ -71,6 +71,7 @@ main(int argc, char** argv)
     }
 
     bench::sweepReport(stats);
+    bench::observabilityReport(options);
     std::printf(
         "\nPaper Fig 3 expectation: increasing crf and refs reduces "
         "front-end and bad-speculation bound slots and increases "

@@ -85,6 +85,7 @@ main(int argc, char** argv)
     std::printf("%sCSV:\n%s", b.toText().c_str(), b.toCsv().c_str());
 
     bench::sweepReport(stats);
+    bench::observabilityReport(options);
     std::printf(
         "\nPaper Fig 4 expectation: low crf lines are longer (low crf "
         "benefits more from refs); time grows with refs with an elbow "

@@ -78,6 +78,7 @@ main(int argc, char** argv)
     }
 
     bench::sweepReport(stats);
+    bench::observabilityReport(options);
     std::printf(
         "\nPaper Fig 5 expectation: branch MPKI decreases as crf/refs "
         "increase; data-cache MPKI and ROB/RS stalls deteriorate "

@@ -83,6 +83,7 @@ main(int argc, char** argv)
     std::printf("%sCSV:\n%s", d.toText().c_str(), d.toCsv().c_str());
 
     bench::sweepReport(stats);
+    bench::observabilityReport(options);
     std::printf(
         "\nPaper Fig 6 expectation: time rises along the ladder; "
         "bitrate improves sharply up to veryfast then plateaus; "

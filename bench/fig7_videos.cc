@@ -80,6 +80,7 @@ main(int argc, char** argv)
     std::printf("%sCSV:\n%s", c.toText().c_str(), c.toCsv().c_str());
 
     bench::sweepReport(stats);
+    bench::observabilityReport(options);
     std::printf(
         "\nPaper Fig 7 expectation: within a resolution group, higher "
         "entropy raises front-end and bad-speculation bound slots "

@@ -11,7 +11,8 @@
  *   ./build/examples/transcode_farm [--jobs 48] [--seconds 0.4]
  *       [--workers 0] [--policy smart|random|round_robin|smart_deadline]
  *       [--queue fifo|priority|edf] [--faults 0.0] [--retries 2]
- *       [--seed 7] [--log runlog.jsonl] [--verbose]
+ *       [--seed 7] [--log runlog.jsonl] [--trace-out trace.json]
+ *       [--metrics] [--verbose]
  */
 
 #include <cstdio>
@@ -21,6 +22,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "farm/farm.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -63,7 +65,8 @@ makeJobStream(int jobs, int retries, uint64_t seed)
 farm::FarmMetrics
 runPolicy(const std::vector<farm::JobRequest>& stream,
           farm::DispatchPolicy policy, farm::QueuePolicy queue_policy,
-          const farm::FarmOptions& base, bool print, std::string log_path)
+          const farm::FarmOptions& base, bool print, std::string log_path,
+          std::string trace_path = "")
 {
     farm::FarmOptions options = base;
     options.dispatch = policy;
@@ -79,9 +82,24 @@ runPolicy(const std::vector<farm::JobRequest>& stream,
                         .toText().c_str());
     }
     if (!log_path.empty()) {
-        service.log().writeJsonl(log_path);
-        std::printf("wrote %zu run-log records to %s\n\n",
-                    service.log().records().size(), log_path.c_str());
+        // A failed export must not take down the service run — the
+        // results above are already computed and printed.
+        if (service.log().writeJsonl(log_path)) {
+            std::printf("wrote %zu run-log records to %s\n\n",
+                        service.log().records().size(), log_path.c_str());
+        } else {
+            std::printf("run log NOT written: cannot open %s\n\n",
+                        log_path.c_str());
+        }
+    }
+    if (!trace_path.empty()) {
+        if (service.writeTrace(trace_path)) {
+            std::printf("wrote %zu job-lifecycle spans to %s\n\n",
+                        service.spans().size(), trace_path.c_str());
+        } else {
+            std::printf("trace NOT written: cannot open %s\n\n",
+                        trace_path.c_str());
+        }
     }
     return service.metrics();
 }
@@ -120,10 +138,14 @@ main(int argc, char** argv)
     farm::Farm::warmupProcess();
 
     if (single_policy) {
-        // Single-policy mode: full metrics + optional JSONL run log.
+        // Single-policy mode: full metrics + optional JSONL run log
+        // and Chrome trace of the job lifecycle.
         std::printf("policy: %s\n", farm::toString(policy).c_str());
         runPolicy(stream, policy, queue_policy, base, true,
-                  cli.str("log", ""));
+                  cli.str("log", ""), cli.str("trace-out", ""));
+        if (cli.has("metrics")) {
+            std::printf("\n%s", obs::metrics().exposition().c_str());
+        }
         return 0;
     }
 
@@ -171,9 +193,13 @@ main(int argc, char** argv)
                     random_m.mean_latency * 1000.0);
     }
 
-    // Detailed metrics for the smart policy, plus optional run log.
+    // Detailed metrics for the smart policy, plus optional run log and
+    // job-lifecycle trace.
     std::printf("\nsmart-policy service metrics:\n");
     runPolicy(stream, farm::DispatchPolicy::Smart, queue_policy, base,
-              true, cli.str("log", ""));
+              true, cli.str("log", ""), cli.str("trace-out", ""));
+    if (cli.has("metrics")) {
+        std::printf("\n%s", obs::metrics().exposition().c_str());
+    }
     return 0;
 }

@@ -21,6 +21,14 @@ namespace vtrans {
  * doubles, lookup is linear (counts are small), and rendering goes through
  * Table. Suitable for per-run summaries, not per-cycle hot paths.
  */
+/**
+ * The p-th percentile (0..100) of a sample by linear interpolation
+ * between order statistics; 0 for an empty sample, p clamped to [0, 100].
+ * The single definition of percentile semantics shared by the farm run
+ * log and the observability metrics histograms.
+ */
+double percentile(std::vector<double> values, double p);
+
 class StatSet
 {
   public:

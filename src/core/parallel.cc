@@ -8,6 +8,8 @@
 #include "common/status.h"
 #include "farm/farm.h"
 #include "farm/server.h"
+#include "obs/metrics.h"
+#include "obs/spans.h"
 #include "video/vbench.h"
 
 namespace vtrans::core {
@@ -54,10 +56,17 @@ SweepStats
 parallelSweep(size_t count, int jobs,
               const std::function<void(size_t)>& run_point)
 {
+    // Wall-time stage spans land in the process-wide tracer when one is
+    // installed (Scoped is a no-op otherwise).
+    obs::SpanTracer* tracer = obs::globalTracer();
+
     // All probe code sites must be registered — serially, in a fixed
     // order — before any worker can race a registration and perturb the
     // virtual code layout (see farm/farm.h).
-    farm::Farm::warmupProcess();
+    {
+        obs::SpanTracer::Scoped warmup(tracer, "sweep", "warmup");
+        farm::Farm::warmupProcess();
+    }
 
     SweepStats stats;
     stats.jobs = resolveJobs(jobs);
@@ -72,7 +81,9 @@ parallelSweep(size_t count, int jobs,
     std::vector<std::function<void()>> tasks;
     tasks.reserve(count);
     for (size_t i = 0; i < count; ++i) {
-        tasks.push_back([&run_point, &point_seconds, i] {
+        tasks.push_back([&run_point, &point_seconds, tracer, i] {
+            obs::SpanTracer::Scoped span(tracer, "sweep", "point");
+            span.arg("index", std::to_string(i));
             const auto start = std::chrono::steady_clock::now();
             run_point(i);
             point_seconds[i] = secondsSince(start);
@@ -81,13 +92,34 @@ parallelSweep(size_t count, int jobs,
 
     const auto batch_start = std::chrono::steady_clock::now();
     {
+        obs::SpanTracer::Scoped fanout(tracer, "sweep", "fan-out");
+        fanout.arg("points", std::to_string(count));
+        fanout.arg("jobs", std::to_string(stats.jobs));
         farm::WorkerPool pool(stats.jobs);
         pool.run(std::move(tasks));
     }
     stats.wall_seconds = secondsSince(batch_start);
-    for (double s : point_seconds) {
-        stats.busy_seconds += s;
+    {
+        obs::SpanTracer::Scoped collect(tracer, "sweep", "collect");
+        for (double s : point_seconds) {
+            stats.busy_seconds += s;
+        }
     }
+
+    auto& reg = obs::metrics();
+    reg.counter("sweep_points_total", "Grid points run by parallel sweeps")
+        .inc(count);
+    reg.counter("sweep_batches_total", "Parallel sweep invocations").inc();
+    auto& point_hist = reg.histogram(
+        "sweep_point_wall_seconds", "Wall-clock duration of sweep points");
+    for (double s : point_seconds) {
+        point_hist.observe(s);
+    }
+    reg.gauge("sweep_last_speedup",
+              "busy/wall ratio of the most recent parallel sweep")
+        .set(stats.wall_seconds > 0.0
+                 ? stats.busy_seconds / stats.wall_seconds
+                 : 0.0);
     return stats;
 }
 

@@ -5,6 +5,7 @@
 
 #include "codec/transcode.h"
 #include "common/status.h"
+#include "obs/hotspots.h"
 #include "trace/probe.h"
 #include "video/vbench.h"
 
@@ -45,11 +46,21 @@ runInstrumented(const RunConfig& config)
     // Deterministic data addresses for this run, whatever ran before.
     trace::arena().reset();
 
+    // When hotspot collection is on, tap the event stream through a tee
+    // so the profiler observes exactly what the model accounts; the model
+    // stays first in the chain and sees an unchanged stream either way.
     uarch::CoreModel model(config.core);
-    trace::setSink(&model);
+    obs::HotspotProfiler profiler;
+    trace::TeeSink tee({&model, &profiler});
+    const bool profiled = obs::hotspotsEnabled();
+    trace::setSink(profiled ? static_cast<trace::ProbeSink*>(&tee)
+                            : &model);
     codec::TranscodeResult transcoded =
         codec::transcode(source, config.params);
     trace::setSink(nullptr);
+    if (profiled) {
+        obs::hotspotReport().merge(profiler);
+    }
 
     RunResult result;
     result.core = model.finish();

@@ -8,6 +8,7 @@
 #include "codec/params.h"
 #include "common/status.h"
 #include "core/workload.h"
+#include "obs/metrics.h"
 
 namespace vtrans::farm {
 
@@ -382,6 +383,16 @@ Farm::account(const std::vector<Job>& jobs,
     // Replay the planned schedule against the *measured* simulated
     // durations: assignments and per-server order stay as dispatched;
     // start/finish times shift to what the fleet actually took.
+    // The replay is also where the job-lifecycle spans are emitted:
+    // every quantity a span needs (queue wait, attempt start/finish,
+    // backoff window) is computed right here, in simulated time.
+    constexpr double kUsPerSimSecond = 1e6;
+    tracer_.setTrackName(1, 0, "dispatch queue");
+    for (size_t s = 0; s < fleet_.size(); ++s) {
+        tracer_.setTrackName(1, static_cast<int64_t>(1 + s),
+                             "server " + fleet_[s].name);
+    }
+
     std::map<uint64_t, JobRecord> records;
     std::map<uint64_t, int> budgets;
     for (const Job& job : jobs) {
@@ -398,6 +409,14 @@ Farm::account(const std::vector<Job>& jobs,
                                             : JobState::Pending;
         if (rec.state == JobState::Shed) {
             rec.finish = job.submit_time;
+            obs::Span shed;
+            shed.kind = obs::Span::Kind::Instant;
+            shed.category = "farm";
+            shed.name = "shed";
+            shed.tid = 0;
+            shed.ts_us = job.submit_time * kUsPerSimSecond;
+            shed.args = {{"job", std::to_string(job.id)}};
+            tracer_.recordEvent(std::move(shed));
         }
         records.emplace(job.id, std::move(rec));
         budgets.emplace(job.id, job.retry_budget);
@@ -419,6 +438,24 @@ Farm::account(const std::vector<Job>& jobs,
         if (a.number == 0) {
             rec.start = start;
             rec.queue_wait = start - rec.submit;
+            // Queue wait as an async pair: submit → first dispatch.
+            obs::Span qb;
+            qb.kind = obs::Span::Kind::AsyncBegin;
+            qb.category = "farm";
+            qb.name = "queue";
+            qb.id = a.job_id;
+            qb.tid = 0;
+            qb.ts_us = rec.submit * kUsPerSimSecond;
+            qb.args = {{"job", std::to_string(a.job_id)}};
+            tracer_.recordEvent(std::move(qb));
+            obs::Span qe;
+            qe.kind = obs::Span::Kind::AsyncEnd;
+            qe.category = "farm";
+            qe.name = "queue";
+            qe.id = a.job_id;
+            qe.tid = 0;
+            qe.ts_us = start * kUsPerSimSecond;
+            tracer_.recordEvent(std::move(qe));
         }
         rec.attempts = a.number + 1;
         rec.server = a.server;
@@ -430,11 +467,45 @@ Farm::account(const std::vector<Job>& jobs,
         rec.bitrate_kbps = result.bitrate_kbps;
         rec.topdown = result.core.topdown();
         rec.result_fingerprint = fingerprint(result);
+
+        obs::Span attempt;
+        attempt.category = "farm";
+        attempt.name = "attempt";
+        attempt.tid = 1 + a.server;
+        attempt.ts_us = start * kUsPerSimSecond;
+        attempt.dur_us = actual * kUsPerSimSecond;
+        attempt.args = {{"job", std::to_string(a.job_id)},
+                        {"attempt", std::to_string(a.number)},
+                        {"task", a.key},
+                        {"outcome", a.failed ? "fault" : "ok"}};
+        tracer_.recordComplete(std::move(attempt));
+
         if (a.failed) {
             ready[a.job_id] = finish + backoffAfter(options_, a.number);
             rec.state = a.number < budgets.at(a.job_id)
                             ? JobState::Pending
                             : JobState::Failed;
+            if (rec.state == JobState::Pending) {
+                // Retry backoff window as an async pair on the queue
+                // track, distinguished from the queue wait by name.
+                obs::Span bb;
+                bb.kind = obs::Span::Kind::AsyncBegin;
+                bb.category = "farm";
+                bb.name = "backoff";
+                bb.id = a.job_id;
+                bb.tid = 0;
+                bb.ts_us = finish * kUsPerSimSecond;
+                bb.args = {{"attempt", std::to_string(a.number)}};
+                tracer_.recordEvent(std::move(bb));
+                obs::Span be;
+                be.kind = obs::Span::Kind::AsyncEnd;
+                be.category = "farm";
+                be.name = "backoff";
+                be.id = a.job_id;
+                be.tid = 0;
+                be.ts_us = ready[a.job_id] * kUsPerSimSecond;
+                tracer_.recordEvent(std::move(be));
+            }
         } else {
             rec.state = JobState::Done;
         }
@@ -474,7 +545,49 @@ Farm::drain()
         execute(attempts);
         account(jobs, attempts);
     }
+    recordMetrics();
     return log_;
+}
+
+void
+Farm::recordMetrics() const
+{
+    auto& reg = obs::metrics();
+    const FarmMetrics m = log_.metrics(fleet_);
+    reg.counter("farm_jobs_submitted_total", "Jobs submitted to the farm")
+        .inc(m.submitted);
+    reg.counter("farm_jobs_completed_total", "Jobs completed successfully")
+        .inc(m.completed);
+    reg.counter("farm_jobs_failed_total",
+                "Jobs that exhausted their retry budget")
+        .inc(m.failed);
+    reg.counter("farm_jobs_shed_total", "Jobs shed at admission control")
+        .inc(m.shed);
+    reg.counter("farm_retries_total", "Extra dispatch attempts beyond the first")
+        .inc(m.retries);
+    reg.counter("farm_deadline_misses_total",
+                "Completed jobs that missed their deadline")
+        .inc(m.deadline_misses);
+    reg.gauge("farm_makespan_sim_seconds",
+              "Simulated makespan of the last drained farm")
+        .set(m.makespan);
+    reg.gauge("farm_throughput_jobs_per_sim_second",
+              "Completed jobs per simulated second of the last drain")
+        .set(m.throughput);
+    auto& latency = reg.histogram(
+        "farm_job_latency_sim_seconds",
+        "Submit-to-finish latency of completed jobs (simulated seconds)");
+    auto& wait = reg.histogram(
+        "farm_job_queue_wait_sim_seconds",
+        "Submit-to-first-dispatch wait of serviced jobs (simulated seconds)");
+    for (const JobRecord& r : log_.records()) {
+        if (r.state == JobState::Done) {
+            latency.observe(r.latency());
+        }
+        if (r.state == JobState::Done || r.state == JobState::Failed) {
+            wait.observe(r.queue_wait);
+        }
+    }
 }
 
 } // namespace vtrans::farm

@@ -45,6 +45,7 @@
 #include "farm/queue.h"
 #include "farm/runlog.h"
 #include "farm/server.h"
+#include "obs/spans.h"
 #include "uarch/config.h"
 
 namespace vtrans::farm {
@@ -134,6 +135,23 @@ class Farm
     /** The calibrated predictor (fully populated after `drain()`). */
     const Predictor& predictor() const { return predictor_; }
 
+    /**
+     * Simulated-time spans over the job lifecycle (queue wait, dispatch
+     * attempts, retry backoff, shed markers), recorded while `account()`
+     * replays the measured timeline. Timestamps are the run log's
+     * simulated seconds scaled to microseconds; attempt spans live on
+     * one track per server, so in-track overlap would mean a broken
+     * schedule. Empty before `drain()`.
+     */
+    const obs::SpanTracer& spans() const { return tracer_; }
+
+    /** Writes the job-lifecycle spans as Chrome trace-event JSON
+     *  (Perfetto-viewable); false on I/O error. */
+    [[nodiscard]] bool writeTrace(const std::string& path) const
+    {
+        return tracer_.writeChromeTrace(path);
+    }
+
     /** Effective worker count. */
     int workers() const;
 
@@ -164,6 +182,7 @@ class Farm
     void execute(const std::vector<Attempt>& attempts);
     void account(const std::vector<Job>& jobs,
                  const std::vector<Attempt>& attempts);
+    void recordMetrics() const;
 
     FarmOptions options_;
     std::vector<Server> fleet_;
@@ -171,6 +190,7 @@ class Farm
     Predictor predictor_;
     FaultInjector injector_;
     RunLog log_;
+    obs::SpanTracer tracer_;
 
     mutable std::mutex submit_mu_;
     std::vector<Job> intake_;

@@ -51,7 +51,10 @@ deadlineKey(const Job& job)
 JobQueue::JobQueue(QueuePolicy policy, size_t capacity)
     : policy_(policy), capacity_(capacity)
 {
-    VT_ASSERT(capacity > 0, "job queue needs non-zero capacity");
+    // Capacity 0 is legal: an always-full queue, which the farm planner
+    // uses (via tryPush) to model a service that sheds every arrival.
+    // waitPush on such a queue would block forever, so blocking
+    // producers must use a non-zero capacity.
 }
 
 bool

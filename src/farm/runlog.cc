@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/stats.h"
 #include "common/status.h"
 
 namespace vtrans::farm {
@@ -115,16 +116,7 @@ RunLog::record(uint64_t job_id) const
 double
 RunLog::percentile(std::vector<double> values, double p)
 {
-    if (values.empty()) {
-        return 0.0;
-    }
-    std::sort(values.begin(), values.end());
-    const double rank =
-        std::clamp(p, 0.0, 100.0) / 100.0 * (values.size() - 1);
-    const size_t lo = static_cast<size_t>(rank);
-    const size_t hi = std::min(lo + 1, values.size() - 1);
-    const double frac = rank - lo;
-    return values[lo] * (1.0 - frac) + values[hi] * frac;
+    return vtrans::percentile(std::move(values), p);
 }
 
 FarmMetrics
@@ -283,14 +275,15 @@ RunLog::toJsonl() const
     return os.str();
 }
 
-void
+bool
 RunLog::writeJsonl(const std::string& path) const
 {
     std::ofstream out(path);
     if (!out) {
-        VT_FATAL("cannot write run log: ", path);
+        return false;
     }
     out << toJsonl();
+    return static_cast<bool>(out.flush());
 }
 
 Table

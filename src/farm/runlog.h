@@ -112,13 +112,17 @@ class RunLog
     /** One JSON object per record, newline separated. */
     std::string toJsonl() const;
 
-    /** Writes the JSON-lines log to a file (fatal on I/O error). */
-    void writeJsonl(const std::string& path) const;
+    /** Writes the JSON-lines log to a file. Returns false on I/O error
+     *  (unwritable path, disk full) instead of aborting — losing a log
+     *  must not lose the run's results. */
+    [[nodiscard]] bool writeJsonl(const std::string& path) const;
 
     /** Renders the aggregate metrics as a printable table. */
     Table metricsTable(const std::vector<Server>& fleet) const;
 
-    /** The p-th percentile (0..100) of a sample by linear interpolation. */
+    /** The p-th percentile (0..100) of a sample by linear interpolation
+     *  (delegates to vtrans::percentile, the shared definition also used
+     *  by the observability metrics histograms). */
     static double percentile(std::vector<double> values, double p);
 
   private:

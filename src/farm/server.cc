@@ -1,8 +1,35 @@
 #include "farm/server.h"
 
+#include <chrono>
+
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace vtrans::farm {
+
+namespace {
+
+/** Runs one pool task, recording wall time + count into the process
+ *  metrics registry (shared by the inline and threaded paths). */
+void
+runPoolTask(const std::function<void()>& task)
+{
+    const auto start = std::chrono::steady_clock::now();
+    task();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now()
+                                      - start)
+            .count();
+    obs::metrics()
+        .counter("pool_tasks_total", "Tasks executed by the worker pool")
+        .inc();
+    obs::metrics()
+        .histogram("pool_task_wall_seconds",
+                   "Wall-clock duration of worker-pool tasks")
+        .observe(seconds);
+}
+
+} // namespace
 
 std::vector<Server>
 makeFleet(const std::vector<uarch::CoreParams>& pool, int replicas)
@@ -73,7 +100,7 @@ WorkerPool::workerMain()
             auto& task = (*batch_)[next_++];
             ++running_;
             lock.unlock();
-            task();
+            runPoolTask(task);
             lock.lock();
             --running_;
         }
@@ -89,9 +116,12 @@ WorkerPool::run(std::vector<std::function<void()>> tasks)
     if (tasks.empty()) {
         return;
     }
+    obs::metrics()
+        .counter("pool_batches_total", "Task batches run on the worker pool")
+        .inc();
     if (threads_.empty()) {
         for (auto& task : tasks) {
-            task();
+            runPoolTask(task);
         }
         return;
     }

@@ -1,0 +1,374 @@
+#include "obs/hotspots.h"
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <sstream>
+
+#include "common/table.h"
+
+namespace vtrans::obs {
+
+void
+SiteCounters::merge(const SiteCounters& other)
+{
+    blocks += other.blocks;
+    instructions += other.instructions;
+    code_bytes += other.code_bytes;
+    branches += other.branches;
+    taken += other.taken;
+    loads += other.loads;
+    stores += other.stores;
+    load_bytes += other.load_bytes;
+    store_bytes += other.store_bytes;
+}
+
+SiteCounters&
+HotspotProfiler::at(uint32_t site_id)
+{
+    if (site_id >= per_site_.size()) {
+        per_site_.resize(site_id + 1);
+    }
+    return per_site_[site_id];
+}
+
+void
+HotspotProfiler::onBlock(const trace::CodeSite& site)
+{
+    SiteCounters& c = at(site.id);
+    ++c.blocks;
+    c.instructions += site.instructions;
+    c.code_bytes += site.bytes;
+    current_site_ = site.id;
+}
+
+void
+HotspotProfiler::onBranch(const trace::CodeSite& site, bool taken)
+{
+    SiteCounters& c = at(site.id);
+    c.instructions += 1;
+    c.branches += 1;
+    c.taken += taken ? 1 : 0;
+    current_site_ = site.id;
+}
+
+void
+HotspotProfiler::onLoad(uint64_t addr, uint32_t bytes)
+{
+    (void)addr;
+    SiteCounters& c = current_site_ >= 0
+                          ? at(static_cast<uint32_t>(current_site_))
+                          : unattributed_;
+    c.instructions += 1;
+    c.loads += 1;
+    c.load_bytes += bytes;
+}
+
+void
+HotspotProfiler::onStore(uint64_t addr, uint32_t bytes)
+{
+    (void)addr;
+    SiteCounters& c = current_site_ >= 0
+                          ? at(static_cast<uint32_t>(current_site_))
+                          : unattributed_;
+    c.instructions += 1;
+    c.stores += 1;
+    c.store_bytes += bytes;
+}
+
+uint64_t
+HotspotProfiler::totalInstructions() const
+{
+    uint64_t total = unattributed_.instructions;
+    for (const SiteCounters& c : per_site_) {
+        total += c.instructions;
+    }
+    return total;
+}
+
+void
+HotspotProfiler::reset()
+{
+    per_site_.clear();
+    unattributed_ = SiteCounters{};
+    current_site_ = -1;
+}
+
+std::string
+kernelFamily(const std::string& site_name)
+{
+    auto starts = [&site_name](const char* prefix) {
+        return site_name.rfind(prefix, 0) == 0;
+    };
+    // SAD/SATD cost kernels are charged to motion estimation, their
+    // dominant caller, as a sampling profiler with inlining does.
+    if (starts("me.") || starts("pixel.sad") || starts("pixel.satd")) {
+        return "motion estimation";
+    }
+    if (starts("pixel.mc") || starts("pixel.average")) {
+        return "interpolation";
+    }
+    if (starts("dct.") || starts("trellis.")) {
+        return "transform/quant";
+    }
+    if (starts("arith.") || starts("bitstream.") || starts("entropy.")) {
+        return "entropy coding";
+    }
+    if (starts("deblock.")) {
+        return "deblocking";
+    }
+    if (starts("intra.")) {
+        return "intra prediction";
+    }
+    if (starts("lookahead.")) {
+        return "lookahead";
+    }
+    if (starts("rc.")) {
+        return "rate control";
+    }
+    if (starts("dec.")) {
+        return "decode";
+    }
+    if (starts("enc.")) {
+        return "macroblock encode";
+    }
+    const size_t dot = site_name.find('.');
+    return dot == std::string::npos ? site_name : site_name.substr(0, dot);
+}
+
+namespace {
+
+std::string
+leadingPrefix(const std::string& site_name)
+{
+    const size_t dot = site_name.find('.');
+    return dot == std::string::npos ? site_name
+                                    : site_name.substr(0, dot) + ".*";
+}
+
+std::vector<HotspotRow>
+sortedRows(std::map<std::string, SiteCounters> rollup)
+{
+    std::vector<HotspotRow> rows;
+    rows.reserve(rollup.size());
+    for (auto& [name, counters] : rollup) {
+        rows.push_back(HotspotRow{name, counters});
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const HotspotRow& a, const HotspotRow& b) {
+                  if (a.counters.instructions != b.counters.instructions) {
+                      return a.counters.instructions >
+                             b.counters.instructions;
+                  }
+                  return a.name < b.name; // deterministic tie-break
+              });
+    return rows;
+}
+
+void
+appendRows(Table* t, const std::vector<HotspotRow>& rows, size_t limit,
+           uint64_t total_instructions)
+{
+    for (size_t i = 0; i < rows.size() && i < limit; ++i) {
+        const HotspotRow& row = rows[i];
+        t->beginRow();
+        t->cell(row.name);
+        t->cell(row.counters.instructions);
+        const double share =
+            total_instructions == 0
+                ? 0.0
+                : static_cast<double>(row.counters.instructions) /
+                      static_cast<double>(total_instructions);
+        t->cell(formatPercent(share));
+        t->cell(row.counters.blocks);
+        t->cell(row.counters.branches);
+        t->cell(row.counters.loads);
+        t->cell(row.counters.stores);
+    }
+}
+
+void
+appendCountersJson(std::ostringstream* os, const SiteCounters& c)
+{
+    *os << "\"instructions\":" << c.instructions
+        << ",\"blocks\":" << c.blocks << ",\"code_bytes\":" << c.code_bytes
+        << ",\"branches\":" << c.branches << ",\"taken\":" << c.taken
+        << ",\"loads\":" << c.loads << ",\"stores\":" << c.stores
+        << ",\"load_bytes\":" << c.load_bytes
+        << ",\"store_bytes\":" << c.store_bytes;
+}
+
+void
+appendRowsJson(std::ostringstream* os, const char* key,
+               const std::vector<HotspotRow>& rows)
+{
+    *os << "\"" << key << "\":[";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        if (i > 0) {
+            *os << ",";
+        }
+        *os << "{\"name\":\"" << rows[i].name << "\",";
+        appendCountersJson(os, rows[i].counters);
+        *os << "}";
+    }
+    *os << "]";
+}
+
+} // namespace
+
+void
+HotspotReport::merge(const HotspotProfiler& profiler)
+{
+    const auto& sites = trace::registry().sites();
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::vector<SiteCounters>& per_site = profiler.perSite();
+    for (size_t id = 0; id < per_site.size() && id < sites.size(); ++id) {
+        const SiteCounters& c = per_site[id];
+        if (c.blocks == 0 && c.instructions == 0) {
+            continue;
+        }
+        by_name_[sites[id]->name].merge(c);
+    }
+    unattributed_.merge(profiler.unattributed());
+}
+
+std::map<std::string, SiteCounters>
+HotspotReport::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return by_name_;
+}
+
+std::vector<HotspotRow>
+HotspotReport::bySite() const
+{
+    return sortedRows(snapshot());
+}
+
+std::vector<HotspotRow>
+HotspotReport::byPrefix() const
+{
+    std::map<std::string, SiteCounters> rollup;
+    for (const auto& [name, counters] : snapshot()) {
+        rollup[leadingPrefix(name)].merge(counters);
+    }
+    return sortedRows(std::move(rollup));
+}
+
+std::vector<HotspotRow>
+HotspotReport::byFamily() const
+{
+    std::map<std::string, SiteCounters> rollup;
+    for (const auto& [name, counters] : snapshot()) {
+        rollup[kernelFamily(name)].merge(counters);
+    }
+    return sortedRows(std::move(rollup));
+}
+
+SiteCounters
+HotspotReport::totals() const
+{
+    SiteCounters total;
+    for (const auto& [name, counters] : snapshot()) {
+        total.merge(counters);
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    total.merge(unattributed_);
+    return total;
+}
+
+bool
+HotspotReport::empty() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return by_name_.empty() && unattributed_.instructions == 0;
+}
+
+std::string
+HotspotReport::table(size_t limit) const
+{
+    const SiteCounters total = totals();
+    std::ostringstream os;
+
+    Table families({"kernel family", "instructions", "share", "blocks",
+                    "branches", "loads", "stores"});
+    appendRows(&families, byFamily(), limit, total.instructions);
+    os << "hotspots by kernel family\n" << families.toText() << "\n";
+
+    Table prefixes({"site prefix", "instructions", "share", "blocks",
+                    "branches", "loads", "stores"});
+    appendRows(&prefixes, byPrefix(), limit, total.instructions);
+    os << "hotspots by site prefix\n" << prefixes.toText() << "\n";
+
+    Table sites({"code site", "instructions", "share", "blocks", "branches",
+                 "loads", "stores"});
+    appendRows(&sites, bySite(), limit, total.instructions);
+    os << "hotspots by code site (top " << limit << ")\n" << sites.toText();
+    return os.str();
+}
+
+std::string
+HotspotReport::toJson() const
+{
+    const SiteCounters total = totals();
+    std::ostringstream os;
+    os << "{\"totals\":{";
+    appendCountersJson(&os, total);
+    os << "},";
+    appendRowsJson(&os, "by_family", byFamily());
+    os << ",";
+    appendRowsJson(&os, "by_prefix", byPrefix());
+    os << ",";
+    appendRowsJson(&os, "by_site", bySite());
+    os << ",\"unattributed\":{";
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        appendCountersJson(&os, unattributed_);
+    }
+    os << "}}";
+    return os.str();
+}
+
+bool
+HotspotReport::writeJson(const std::string& path) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        return false;
+    }
+    out << toJson() << "\n";
+    return static_cast<bool>(out.flush());
+}
+
+void
+HotspotReport::reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    by_name_.clear();
+    unattributed_ = SiteCounters{};
+}
+
+namespace {
+std::atomic<bool> g_hotspots_enabled{false};
+} // namespace
+
+HotspotReport&
+hotspotReport()
+{
+    static HotspotReport report;
+    return report;
+}
+
+void
+setHotspotsEnabled(bool enabled)
+{
+    g_hotspots_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+hotspotsEnabled()
+{
+    return g_hotspots_enabled.load(std::memory_order_relaxed);
+}
+
+} // namespace vtrans::obs

@@ -1,0 +1,149 @@
+#include "obs/metrics.h"
+
+#include <sstream>
+
+#include "common/status.h"
+#include "common/stats.h"
+
+namespace vtrans::obs {
+
+void
+Histogram::observe(double value)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    samples_.push_back(value);
+    sum_ += value;
+}
+
+uint64_t
+Histogram::count() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return samples_.size();
+}
+
+double
+Histogram::sum() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return sum_;
+}
+
+double
+Histogram::percentile(double p) const
+{
+    std::vector<double> samples;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        samples = samples_;
+    }
+    return vtrans::percentile(std::move(samples), p);
+}
+
+MetricsRegistry::Instrument&
+MetricsRegistry::instrument(const std::string& name, Instrument::Kind kind,
+                            const std::string& help)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = instruments_.find(name);
+    if (it != instruments_.end()) {
+        VT_ASSERT(it->second.kind == kind,
+                  "metric re-registered as a different kind: ", name);
+        return it->second;
+    }
+    Instrument inst;
+    inst.kind = kind;
+    inst.help = help;
+    switch (kind) {
+    case Instrument::Kind::Counter:
+        inst.counter = std::make_unique<Counter>();
+        break;
+    case Instrument::Kind::Gauge:
+        inst.gauge = std::make_unique<Gauge>();
+        break;
+    case Instrument::Kind::Histogram:
+        inst.histogram = std::make_unique<Histogram>();
+        break;
+    }
+    return instruments_.emplace(name, std::move(inst)).first->second;
+}
+
+Counter&
+MetricsRegistry::counter(const std::string& name, const std::string& help)
+{
+    return *instrument(name, Instrument::Kind::Counter, help).counter;
+}
+
+Gauge&
+MetricsRegistry::gauge(const std::string& name, const std::string& help)
+{
+    return *instrument(name, Instrument::Kind::Gauge, help).gauge;
+}
+
+Histogram&
+MetricsRegistry::histogram(const std::string& name, const std::string& help)
+{
+    return *instrument(name, Instrument::Kind::Histogram, help).histogram;
+}
+
+std::string
+MetricsRegistry::exposition() const
+{
+    // Copy instrument pointers out so sample reads do not nest the
+    // registry lock inside histogram locks.
+    struct Row
+    {
+        std::string name;
+        const Instrument* inst;
+    };
+    std::vector<Row> rows;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        rows.reserve(instruments_.size());
+        for (const auto& [name, inst] : instruments_) {
+            rows.push_back(Row{name, &inst});
+        }
+    }
+    std::ostringstream os;
+    for (const Row& row : rows) {
+        os << "# HELP " << row.name << " " << row.inst->help << "\n";
+        switch (row.inst->kind) {
+        case Instrument::Kind::Counter:
+            os << "# TYPE " << row.name << " counter\n";
+            os << row.name << " " << row.inst->counter->value() << "\n";
+            break;
+        case Instrument::Kind::Gauge:
+            os << "# TYPE " << row.name << " gauge\n";
+            os << row.name << " " << row.inst->gauge->value() << "\n";
+            break;
+        case Instrument::Kind::Histogram: {
+            const Histogram& h = *row.inst->histogram;
+            os << "# TYPE " << row.name << " summary\n";
+            for (double q : {50.0, 90.0, 99.0}) {
+                os << row.name << "{quantile=\"" << q / 100.0 << "\"} "
+                   << h.percentile(q) << "\n";
+            }
+            os << row.name << "_sum " << h.sum() << "\n";
+            os << row.name << "_count " << h.count() << "\n";
+            break;
+        }
+        }
+    }
+    return os.str();
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    instruments_.clear();
+}
+
+MetricsRegistry&
+metrics()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+} // namespace vtrans::obs

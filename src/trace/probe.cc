@@ -12,6 +12,52 @@ setSink(ProbeSink* sink)
     g_sink = sink;
 }
 
+TeeSink::TeeSink(std::vector<ProbeSink*> sinks)
+{
+    for (ProbeSink* sink : sinks) {
+        add(sink);
+    }
+}
+
+void
+TeeSink::add(ProbeSink* sink)
+{
+    VT_ASSERT(sink != nullptr, "cannot chain a null probe sink");
+    sinks_.push_back(sink);
+}
+
+void
+TeeSink::onBlock(const CodeSite& site)
+{
+    for (ProbeSink* sink : sinks_) {
+        sink->onBlock(site);
+    }
+}
+
+void
+TeeSink::onBranch(const CodeSite& site, bool taken)
+{
+    for (ProbeSink* sink : sinks_) {
+        sink->onBranch(site, taken);
+    }
+}
+
+void
+TeeSink::onLoad(uint64_t addr, uint32_t bytes)
+{
+    for (ProbeSink* sink : sinks_) {
+        sink->onLoad(addr, bytes);
+    }
+}
+
+void
+TeeSink::onStore(uint64_t addr, uint32_t bytes)
+{
+    for (ProbeSink* sink : sinks_) {
+        sink->onStore(addr, bytes);
+    }
+}
+
 SiteRegistry&
 registry()
 {

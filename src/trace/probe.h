@@ -76,6 +76,40 @@ class ProbeSink
 };
 
 /**
+ * Fans every probe event out to a chain of sinks, in order.
+ *
+ * This is how an observer (the hotspot profiler, an event recorder) taps
+ * the same event stream the core timing model consumes without perturbing
+ * it: `g_sink` stays a single thread-local pointer, and the tee forwards
+ * each event to every chained sink before returning. Sinks are invoked in
+ * chain order, so a pure observer placed after the model sees exactly the
+ * stream the model has already accounted.
+ *
+ * The tee itself is not thread-safe; like any sink it is attached to one
+ * thread via `setSink` and owned by that thread's run.
+ */
+class TeeSink : public ProbeSink
+{
+  public:
+    TeeSink() = default;
+    explicit TeeSink(std::vector<ProbeSink*> sinks);
+
+    /** Appends a sink to the chain (must not be null). */
+    void add(ProbeSink* sink);
+
+    /** The chained sinks, in dispatch order. */
+    const std::vector<ProbeSink*>& sinks() const { return sinks_; }
+
+    void onBlock(const CodeSite& site) override;
+    void onBranch(const CodeSite& site, bool taken) override;
+    void onLoad(uint64_t addr, uint32_t bytes) override;
+    void onStore(uint64_t addr, uint32_t bytes) override;
+
+  private:
+    std::vector<ProbeSink*> sinks_;
+};
+
+/**
  * The global table of code sites plus the default code layout.
  *
  * Sites register once (function-local statics in kernel code) and persist

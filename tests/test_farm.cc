@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <set>
 #include <thread>
 #include <vector>
@@ -465,6 +466,56 @@ TEST(Farm, AdmissionControlShedsOverCapacity)
             EXPECT_EQ(rec.attempts, 0);
         }
     }
+}
+
+TEST(Farm, AllShedRunKeepsAggregatesAtZero)
+{
+    // Regression: a run whose every job is shed has an empty timeline.
+    // Makespan, throughput, latency percentiles, queue wait and every
+    // utilization must come back 0, never NaN/inf from a 0/0.
+    FarmOptions options = fastOptions();
+    options.queue_capacity = 0; // Always-full queue: shed all arrivals.
+    Farm service(options);
+    for (const auto& req : smallStream(4, 0)) {
+        service.submit(req);
+    }
+    const RunLog& log = service.drain();
+    ASSERT_EQ(log.records().size(), 4u);
+    for (const auto& rec : log.records()) {
+        EXPECT_EQ(rec.state, JobState::Shed);
+    }
+    const auto m = service.metrics();
+    EXPECT_EQ(m.submitted, 4u);
+    EXPECT_EQ(m.shed, 4u);
+    EXPECT_EQ(m.completed, 0u);
+    EXPECT_EQ(m.makespan, 0.0);
+    EXPECT_EQ(m.throughput, 0.0);
+    EXPECT_EQ(m.mean_latency, 0.0);
+    EXPECT_EQ(m.p50_latency, 0.0);
+    EXPECT_EQ(m.p99_latency, 0.0);
+    EXPECT_EQ(m.mean_queue_wait, 0.0);
+    EXPECT_EQ(m.mean_prediction_error, 0.0);
+    for (size_t s = 0; s < service.fleet().size(); ++s) {
+        EXPECT_EQ(m.utilization(s), 0.0);
+    }
+    // The aggregate table renders without tripping any assertion.
+    EXPECT_GT(log.metricsTable(service.fleet()).rows(), 0u);
+}
+
+TEST(RunLog, WriteJsonlReportsFailureInsteadOfAborting)
+{
+    RunLog log;
+    JobRecord rec;
+    rec.id = 1;
+    rec.video = "cat";
+    log.add(rec);
+    // Unwritable destination: failure is reported, not fatal.
+    EXPECT_FALSE(log.writeJsonl("/nonexistent-dir/sub/never/log.jsonl"));
+    // Writable destination still succeeds.
+    const std::string path =
+        ::testing::TempDir() + "/vtrans_runlog_io_test.jsonl";
+    EXPECT_TRUE(log.writeJsonl(path));
+    std::remove(path.c_str());
 }
 
 TEST(Farm, DeterministicAcrossWorkerCounts)

@@ -22,19 +22,36 @@ cmake --build "$BUILD_DIR" -j
 echo "== tests =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
-echo "== farm smoke =="
-"$BUILD_DIR"/examples/transcode_farm --jobs 64 --seconds 0.15
+echo "== farm smoke (+ job-lifecycle trace) =="
+OBS_DIR="$BUILD_DIR/obs-smoke"
+mkdir -p "$OBS_DIR"
+"$BUILD_DIR"/examples/transcode_farm --jobs 64 --seconds 0.15 \
+    --policy smart --trace-out "$OBS_DIR/farm-trace.json"
 
-echo "== parallel sweep smoke =="
-"$BUILD_DIR"/bench/fig3_heatmaps --coarse --seconds 0.1 --jobs 4 --quiet
+echo "== parallel sweep smoke (+ hotspots + stage trace) =="
+"$BUILD_DIR"/bench/fig3_heatmaps --coarse --seconds 0.1 --jobs 4 --quiet \
+    --hotspots --hotspots-out "$OBS_DIR/hotspots.json" \
+    --trace-out "$OBS_DIR/sweep-trace.json" --metrics
+
+echo "== observability artifacts validate =="
+# The test binary doubles as the JSON validator (no external tooling):
+# parse the exported hotspot report and both Chrome traces.
+VTRANS_HOTSPOT_JSON="$OBS_DIR/hotspots.json" \
+    VTRANS_TRACE_JSON="$OBS_DIR/sweep-trace.json" \
+    "$BUILD_DIR"/tests/test_obs --gtest_filter='ArtifactValidation.*'
+VTRANS_TRACE_JSON="$OBS_DIR/farm-trace.json" \
+    "$BUILD_DIR"/tests/test_obs \
+    --gtest_filter='ArtifactValidation.ChromeTraceFileParses'
 
 if [[ "${VTRANS_SKIP_TSAN:-0}" != 1 ]]; then
-    echo "== thread-sanitizer: farm + parallel sweep =="
+    echo "== thread-sanitizer: farm + parallel sweep + observability =="
     TSAN_DIR="${BUILD_DIR}-tsan"
     cmake -B "$TSAN_DIR" -S . -DVTRANS_SANITIZE=thread
-    cmake --build "$TSAN_DIR" -j --target test_farm test_parallel_sweep
+    cmake --build "$TSAN_DIR" -j --target test_farm test_parallel_sweep \
+        test_obs
     "$TSAN_DIR"/tests/test_farm
     "$TSAN_DIR"/tests/test_parallel_sweep
+    "$TSAN_DIR"/tests/test_obs
 fi
 
 echo "== check passed =="
