@@ -20,6 +20,7 @@
 #include "obs/hotspots.h"
 #include "obs/metrics.h"
 #include "obs/spans.h"
+#include "trace/probe.h"
 
 namespace vtrans::bench {
 
@@ -54,6 +55,9 @@ benchTracer()
  *   --fine            11x8 grid (crf Delta-5, 88 points)
  *   --full            the paper's full 816-point grid
  *   --quiet           suppress progress
+ *   --batch-size <n>  probe-pipeline batch capacity (0 = per-event
+ *                     dispatch; default from VTRANS_PROBE_BATCH or the
+ *                     microbench-chosen trace::kDefaultProbeBatch)
  * Observability (see observabilityReport()):
  *   --hotspots        collect + print the VTune-style hotspot table
  *   --hotspots-out <p> collect + write the hotspot report as JSON
@@ -71,6 +75,12 @@ parseBenchOptions(int argc, char** argv)
     options.study.jobs = static_cast<int>(cli.num("jobs", 1));
     options.study.verbose = !cli.has("quiet");
     setVerbose(!cli.has("quiet"));
+
+    // A/B knob for the batched probe pipeline (bit-identical either way).
+    const int64_t batch = cli.num(
+        "batch-size", static_cast<int64_t>(trace::defaultBatchCapacity()));
+    trace::setDefaultBatchCapacity(
+        batch <= 0 ? 0 : static_cast<uint32_t>(batch));
 
     if (cli.has("full")) {
         options.crf_grid = core::fullCrfGrid();

@@ -1,0 +1,496 @@
+/**
+ * @file
+ * Probe-pipeline microbenchmark: events/sec through the probe bus for the
+ * per-event virtual-dispatch path vs the batched ProbeEvent pipeline, over
+ * three consumers of increasing weight —
+ *
+ *   count  a trivial counting sink (pure pipeline dispatch cost),
+ *   model  uarch::CoreModel (the common instrumented-run configuration),
+ *   tee    TeeSink{CoreModel, HotspotProfiler} (the --hotspots path),
+ *
+ * on a deterministic synthetic event stream shaped like the codec's hot
+ * kernels (macroblock row: block, loads, dependent block, store, early-exit
+ * branch, loop branch). Every mode's CoreStats (and profiler totals) are
+ * asserted bit-identical to the per-event baseline — the batch pipeline is
+ * an optimization, never a semantic change.
+ *
+ *   ./build/bench/microbench_probe [--events 4000000] [--reps 3]
+ *       [--min-speedup 1.0] [--out BENCH_probe.json]
+ *       [--e2e] [--e2e-seconds 0.12] [--quiet]
+ *
+ * --e2e additionally A/Bs two real workloads end to end (per-event vs the
+ * default batch capacity), checking fingerprint identity and reporting
+ * wall clocks: the fig3 crf x refs sweep on 1 worker, and a farm drain.
+ * --out writes the machine-readable BENCH_probe.json consumed by
+ * tools/check.sh and quoted in README.md.
+ *
+ * Exits non-zero if any identity check fails, if the batched pipeline's
+ * events/sec (count mode, default batch) falls below --min-speedup x the
+ * per-event baseline, or if a consumer-bound mode (model/tee) comes out
+ * slower than per-event beyond timing noise.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/status.h"
+#include "core/parallel.h"
+#include "core/studies.h"
+#include "core/workload.h"
+#include "farm/farm.h"
+#include "farm/runlog.h"
+#include "obs/hotspots.h"
+#include "trace/probe.h"
+#include "uarch/config.h"
+#include "uarch/core.h"
+
+namespace {
+
+using namespace vtrans;
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** Counts events and nothing else: the pipeline's floor cost. */
+class CountingSink : public trace::ProbeSink
+{
+  public:
+    void onBlock(const trace::CodeSite&) override { ++events_; }
+    void onBranch(const trace::CodeSite&, bool) override { ++events_; }
+    void onLoad(uint64_t, uint32_t) override { ++events_; }
+    void onStore(uint64_t, uint32_t) override { ++events_; }
+    void
+    onBatch(const trace::ProbeEvent* events, size_t count) override
+    {
+        // Fused block+branch records count as two events, matching the
+        // per-event path's tally.
+        for (size_t i = 0; i < count; ++i) {
+            events_ += events[i].kind == trace::ProbeEvent::kBlockBranch
+                           ? 2
+                           : 1;
+        }
+    }
+    uint64_t events() const { return events_; }
+
+  private:
+    uint64_t events_ = 0;
+};
+
+/** Probe calls emitted per emitStream() iteration. */
+constexpr uint64_t kCallsPerIter = 8;
+
+/**
+ * Emits `iters` iterations of a deterministic, codec-shaped event mix:
+ * an ALU block, current+reference row loads, a load-dependent block, a
+ * prediction store, a data-dependent early-exit branch, and a mostly-taken
+ * loop branch. Addresses stream through a 4 MiB frame with a strided
+ * reference window, so the cache model sees realistic hit/miss behaviour.
+ */
+void
+emitStream(uint64_t iters)
+{
+    VT_SITE(site_alu, "mb.alu", 96, 12, Block);
+    VT_SITE(site_dep, "mb.loaddep", 80, 10, BlockLoadDep);
+    VT_SITE(site_early, "mb.early_exit", 12, 1, BranchLoadDep);
+    VT_SITE(site_loop, "mb.loop", 12, 1, Branch);
+
+    constexpr uint64_t kCur = trace::SimArena::kHeapBase;
+    constexpr uint64_t kRef = kCur + (4u << 20);
+    constexpr uint64_t kDst = kRef + (4u << 20);
+    constexpr uint64_t kFrameMask = (4u << 20) - 1;
+
+    for (uint64_t i = 0; i < iters; ++i) {
+        const uint64_t row = (i * 64) & kFrameMask;
+        const uint64_t ref = (i * 192 + ((i >> 5) * 4096)) & kFrameMask;
+        trace::block(site_alu);
+        trace::load(kCur + row, 16);
+        trace::load(kRef + ref, 16);
+        trace::block(site_dep);
+        trace::load(kRef + ((ref + 64) & kFrameMask), 16);
+        trace::store(kDst + row, 16);
+        // Data-shaped direction: mispredicts at a realistic few-percent
+        // rate. Deterministic, so every mode sees the same stream.
+        trace::branch(site_early, ((i * 2654435761u) >> 27 & 31) == 0);
+        trace::branch(site_loop, (i & 7) != 7);
+    }
+}
+
+/** One measured configuration: sink flavour x batch capacity. */
+struct Measurement
+{
+    std::string sink;   ///< "count" / "model" / "tee".
+    uint32_t batch = 0; ///< 0 = per-event dispatch.
+    double best_seconds = 0.0;
+    double events_per_sec = 0.0;
+    uarch::CoreStats stats;         ///< model/tee modes.
+    uint64_t profiler_instr = 0;    ///< tee mode.
+    uint64_t counted = 0;           ///< count mode.
+};
+
+Measurement
+runMode(const std::string& sink_kind, uint32_t batch, uint64_t iters,
+        int reps)
+{
+    Measurement m;
+    m.sink = sink_kind;
+    m.batch = batch;
+    m.best_seconds = 1e100;
+    for (int rep = 0; rep < reps; ++rep) {
+        uarch::CoreModel model(uarch::baselineConfig());
+        obs::HotspotProfiler profiler;
+        trace::TeeSink tee({&model, &profiler});
+        CountingSink counter;
+        trace::ProbeSink* sink = &counter;
+        if (sink_kind == "model") {
+            sink = &model;
+        } else if (sink_kind == "tee") {
+            sink = &tee;
+        }
+        const auto t0 = Clock::now();
+        trace::setSink(sink, batch);
+        emitStream(iters);
+        trace::setSink(nullptr); // Flushes pending events.
+        const double secs = secondsSince(t0);
+        m.best_seconds = std::min(m.best_seconds, secs);
+        if (rep == reps - 1) {
+            // Stats are deterministic across reps; keep the last one.
+            if (sink_kind != "count") {
+                m.stats = model.finish();
+            }
+            m.profiler_instr = profiler.totalInstructions();
+            m.counted = counter.events();
+        }
+    }
+    m.events_per_sec =
+        static_cast<double>(iters * kCallsPerIter) / m.best_seconds;
+    return m;
+}
+
+/** Field-by-field CoreStats comparison; prints every mismatch. */
+bool
+statsIdentical(const uarch::CoreStats& a, const uarch::CoreStats& b,
+               const std::string& label)
+{
+    bool ok = true;
+    auto check = [&](const char* field, uint64_t x, uint64_t y) {
+        if (x != y) {
+            std::fprintf(stderr,
+                         "IDENTITY FAIL [%s] %s: %llu != %llu\n",
+                         label.c_str(), field,
+                         static_cast<unsigned long long>(x),
+                         static_cast<unsigned long long>(y));
+            ok = false;
+        }
+    };
+    check("instructions", a.instructions, b.instructions);
+    check("cycles", a.cycles, b.cycles);
+    check("branches", a.branches, b.branches);
+    check("branch_mispredicts", a.branch_mispredicts,
+          b.branch_mispredicts);
+    check("l1d_accesses", a.l1d_accesses, b.l1d_accesses);
+    check("l1d_misses", a.l1d_misses, b.l1d_misses);
+    check("l2_misses", a.l2_misses, b.l2_misses);
+    check("l3_misses", a.l3_misses, b.l3_misses);
+    check("l1i_accesses", a.l1i_accesses, b.l1i_accesses);
+    check("l1i_misses", a.l1i_misses, b.l1i_misses);
+    check("itlb_misses", a.itlb_misses, b.itlb_misses);
+    check("btb_misses", a.btb_misses, b.btb_misses);
+    check("slots_total", a.slots_total, b.slots_total);
+    check("slots_retiring", a.slots_retiring, b.slots_retiring);
+    check("slots_frontend", a.slots_frontend, b.slots_frontend);
+    check("slots_bad_spec", a.slots_bad_spec, b.slots_bad_spec);
+    check("slots_backend_memory", a.slots_backend_memory,
+          b.slots_backend_memory);
+    check("slots_backend_core", a.slots_backend_core,
+          b.slots_backend_core);
+    check("slots_rob_stall", a.slots_rob_stall, b.slots_rob_stall);
+    check("slots_rs_stall", a.slots_rs_stall, b.slots_rs_stall);
+    check("slots_sb_stall", a.slots_sb_stall, b.slots_sb_stall);
+    return ok;
+}
+
+/** End-to-end A/B of one workload: per-event vs batched wall clock. */
+struct E2eResult
+{
+    double per_event_seconds = 0.0;
+    double batched_seconds = 0.0;
+    bool identical = false;
+
+    double
+    speedup() const
+    {
+        return batched_seconds > 0.0 ? per_event_seconds / batched_seconds
+                                     : 0.0;
+    }
+};
+
+/** The fig3 crf x refs sweep on 1 worker (trimmed grid). */
+E2eResult
+e2eSweep(double seconds, uint32_t batch)
+{
+    const std::vector<int> crf{1, 21, 41};
+    const std::vector<int> refs{1, 4, 16};
+    core::StudyOptions options;
+    options.video = "funny";
+    options.seconds = seconds;
+    options.jobs = 1;
+    options.verbose = false;
+    core::mezzanine(options.video, options.seconds); // Warm, untimed.
+
+    auto fingerprints = [&](uint32_t capacity) {
+        trace::setDefaultBatchCapacity(capacity);
+        const auto t0 = Clock::now();
+        const auto points = core::parallelCrfRefsSweep(crf, refs, options);
+        const double secs = secondsSince(t0);
+        std::vector<uint64_t> prints;
+        for (const auto& p : points) {
+            prints.push_back(farm::fingerprint(p.run));
+        }
+        return std::make_pair(secs, prints);
+    };
+    const auto per_event = fingerprints(0);
+    const auto batched = fingerprints(batch);
+
+    E2eResult r;
+    r.per_event_seconds = per_event.first;
+    r.batched_seconds = batched.first;
+    r.identical = per_event.second == batched.second;
+    return r;
+}
+
+/** A farm drain (mixed job stream, 2 workers). */
+E2eResult
+e2eFarm(double seconds, uint32_t batch)
+{
+    const std::vector<sched::Task> catalog = {
+        {"desktop", 30, 8, "veryfast"},
+        {"cat", 23, 3, "fast"},
+        {"game2", 15, 2, "medium"},
+        {"bike", 20, 4, "fast"},
+    };
+    farm::FarmOptions options;
+    options.workers = 2;
+    options.clip_seconds = seconds;
+    farm::Farm::warmupProcess();
+    core::mezzanine(options.reference_video, options.clip_seconds);
+    for (const auto& task : catalog) {
+        core::mezzanine(task.video, options.clip_seconds);
+    }
+
+    auto drain = [&](uint32_t capacity) {
+        trace::setDefaultBatchCapacity(capacity);
+        farm::Farm service(options);
+        for (int i = 0; i < 12; ++i) {
+            farm::JobRequest req;
+            req.task = catalog[i % catalog.size()];
+            req.submit_time = 0.0001 * i;
+            service.submit(req);
+        }
+        const auto t0 = Clock::now();
+        service.drain();
+        const double secs = secondsSince(t0);
+        std::map<uint64_t, uint64_t> prints;
+        for (const auto& rec : service.log().records()) {
+            prints[rec.id] = rec.result_fingerprint;
+        }
+        return std::make_pair(secs, prints);
+    };
+    const auto per_event = drain(0);
+    const auto batched = drain(batch);
+
+    E2eResult r;
+    r.per_event_seconds = per_event.first;
+    r.batched_seconds = batched.first;
+    r.identical = per_event.second == batched.second;
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Cli cli(argc, argv);
+    setVerbose(false);
+    const uint64_t events =
+        static_cast<uint64_t>(cli.num("events", 4000000));
+    const uint64_t iters = std::max<uint64_t>(events / kCallsPerIter, 1);
+    const int reps = static_cast<int>(cli.num("reps", 3));
+    const double min_speedup = cli.real("min-speedup", 1.0);
+    const std::string out = cli.str("out", "");
+    const bool e2e = cli.has("e2e");
+    const double e2e_seconds = cli.real("e2e-seconds", 0.12);
+    const bool quiet = cli.has("quiet");
+    const uint32_t default_batch = trace::kDefaultProbeBatch;
+
+    const std::vector<uint32_t> capacities{0, 16, 64, 256, 1024};
+    const std::vector<std::string> sinks{"count", "model", "tee"};
+
+    // Warm up: register the synthetic sites and fault in the buffers.
+    runMode("count", 0, std::min<uint64_t>(iters, 10000), 1);
+
+    std::vector<Measurement> sweep;
+    std::map<std::string, Measurement> per_event;
+    for (const auto& sink : sinks) {
+        for (uint32_t batch : capacities) {
+            Measurement m = runMode(sink, batch, iters, reps);
+            if (batch == 0) {
+                per_event[sink] = m;
+            }
+            if (!quiet) {
+                std::printf("%-6s batch %-5u  %8.1f M events/s%s\n",
+                            sink.c_str(), batch,
+                            m.events_per_sec / 1e6,
+                            batch == 0 ? "  (per-event baseline)" : "");
+            }
+            sweep.push_back(std::move(m));
+        }
+    }
+
+    // --- Identity: every batched mode must match its per-event baseline.
+    bool identical = true;
+    for (const auto& m : sweep) {
+        if (m.batch == 0) {
+            continue;
+        }
+        const Measurement& base = per_event[m.sink];
+        if (m.sink == "count") {
+            if (m.counted != base.counted) {
+                std::fprintf(stderr,
+                             "IDENTITY FAIL [count] %llu != %llu events\n",
+                             static_cast<unsigned long long>(m.counted),
+                             static_cast<unsigned long long>(base.counted));
+                identical = false;
+            }
+        } else {
+            const std::string label =
+                m.sink + " batch " + std::to_string(m.batch);
+            identical &= statsIdentical(m.stats, base.stats, label);
+            if (m.sink == "tee" && m.profiler_instr != base.profiler_instr) {
+                std::fprintf(stderr, "IDENTITY FAIL [tee] profiler %llu != "
+                                     "%llu instructions\n",
+                             static_cast<unsigned long long>(
+                                 m.profiler_instr),
+                             static_cast<unsigned long long>(
+                                 base.profiler_instr));
+                identical = false;
+            }
+        }
+    }
+
+    // --- Speedup at the shipped default capacity, per sink flavour.
+    std::map<std::string, double> speedup;
+    for (const auto& m : sweep) {
+        if (m.batch == default_batch) {
+            speedup[m.sink] =
+                m.events_per_sec / per_event[m.sink].events_per_sec;
+        }
+    }
+    std::printf("\nspeedup at batch %u (vs per-event): "
+                "pipeline x%.2f, model x%.2f, tee x%.2f\n",
+                default_batch, speedup["count"], speedup["model"],
+                speedup["tee"]);
+    std::printf("identity: %s\n", identical ? "OK (bit-identical)"
+                                            : "FAILED");
+
+    // --- Optional end-to-end A/B on real workloads.
+    E2eResult sweep_e2e;
+    E2eResult farm_e2e;
+    if (e2e) {
+        if (!quiet) {
+            std::printf("\nend-to-end A/B (batch 0 vs %u)...\n",
+                        default_batch);
+        }
+        sweep_e2e = e2eSweep(e2e_seconds, default_batch);
+        farm_e2e = e2eFarm(e2e_seconds, default_batch);
+        trace::setDefaultBatchCapacity(default_batch);
+        std::printf("fig3 sweep --jobs 1: %.3fs per-event, %.3fs batched "
+                    "(x%.2f, %s)\n",
+                    sweep_e2e.per_event_seconds, sweep_e2e.batched_seconds,
+                    sweep_e2e.speedup(),
+                    sweep_e2e.identical ? "identical" : "MISMATCH");
+        std::printf("farm drain:          %.3fs per-event, %.3fs batched "
+                    "(x%.2f, %s)\n",
+                    farm_e2e.per_event_seconds, farm_e2e.batched_seconds,
+                    farm_e2e.speedup(),
+                    farm_e2e.identical ? "identical" : "MISMATCH");
+        identical = identical && sweep_e2e.identical && farm_e2e.identical;
+    }
+
+    // --- Machine-readable report (BENCH_probe.json).
+    if (!out.empty()) {
+        FILE* f = std::fopen(out.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "cannot open %s\n", out.c_str());
+            return 1;
+        }
+        std::fprintf(f, "{\n  \"bench\": \"microbench_probe\",\n");
+        std::fprintf(f, "  \"events_per_rep\": %llu,\n",
+                     static_cast<unsigned long long>(iters * kCallsPerIter));
+        std::fprintf(f, "  \"reps\": %d,\n", reps);
+        std::fprintf(f, "  \"default_batch\": %u,\n", default_batch);
+        std::fprintf(f, "  \"identical\": %s,\n",
+                     identical ? "true" : "false");
+        std::fprintf(f, "  \"sweep\": [\n");
+        for (size_t i = 0; i < sweep.size(); ++i) {
+            std::fprintf(f,
+                         "    {\"sink\": \"%s\", \"batch\": %u, "
+                         "\"events_per_sec\": %.0f}%s\n",
+                         sweep[i].sink.c_str(), sweep[i].batch,
+                         sweep[i].events_per_sec,
+                         i + 1 < sweep.size() ? "," : "");
+        }
+        std::fprintf(f, "  ],\n");
+        std::fprintf(f,
+                     "  \"speedup_at_default\": {\"pipeline\": %.3f, "
+                     "\"model\": %.3f, \"tee\": %.3f}",
+                     speedup["count"], speedup["model"], speedup["tee"]);
+        if (e2e) {
+            std::fprintf(
+                f,
+                ",\n  \"end_to_end\": {\n"
+                "    \"fig3_heatmaps_jobs1\": {\"per_event_seconds\": %.4f, "
+                "\"batched_seconds\": %.4f, \"speedup\": %.3f, "
+                "\"identical\": %s},\n"
+                "    \"farm_throughput\": {\"per_event_seconds\": %.4f, "
+                "\"batched_seconds\": %.4f, \"speedup\": %.3f, "
+                "\"identical\": %s}\n  }",
+                sweep_e2e.per_event_seconds, sweep_e2e.batched_seconds,
+                sweep_e2e.speedup(),
+                sweep_e2e.identical ? "true" : "false",
+                farm_e2e.per_event_seconds, farm_e2e.batched_seconds,
+                farm_e2e.speedup(), farm_e2e.identical ? "true" : "false");
+        }
+        std::fprintf(f, "\n}\n");
+        std::fclose(f);
+        std::printf("report: %s\n", out.c_str());
+    }
+
+    if (!identical) {
+        return 1;
+    }
+    for (const auto& [sink, x] : speedup) {
+        // --min-speedup gates the pure pipeline (count). The consumer-
+        // bound modes spend ~97% of their time inside the consumer, so
+        // their ratio sits near 1.0; they are only required not to be
+        // slower than per-event (with a small timing-noise band).
+        const double floor = sink == "count" ? min_speedup : 0.95;
+        if (x < floor) {
+            std::fprintf(stderr,
+                         "SPEEDUP FAIL: %s x%.3f < required x%.3f\n",
+                         sink.c_str(), x, floor);
+            return 1;
+        }
+    }
+    return 0;
+}

@@ -67,11 +67,15 @@ sadBlock(const Frame& cur, int cx, int cy, const Frame& ref, int rx, int ry,
         trace::block(site_rows);
         for (int dy = 0; dy < chunk; ++dy) {
             const int y = y0 + dy;
-            trace::load(cur.simAddr(Plane::Y, cx, cy + y), w);
-            trace::load(ref.simAddr(Plane::Y,
-                                    std::clamp(rx, 0, ref.width() - 1),
-                                    std::clamp(ry + y, 0, ref.height() - 1)),
-                        w);
+            // Guarded so native (sink-less) runs skip the simulated-address
+            // math entirely; load() would drop the events anyway.
+            if (trace::active()) {
+                trace::load(cur.simAddr(Plane::Y, cx, cy + y), w);
+                trace::load(
+                    ref.simAddr(Plane::Y, std::clamp(rx, 0, ref.width() - 1),
+                                std::clamp(ry + y, 0, ref.height() - 1)),
+                    w);
+            }
             for (int x = 0; x < w; ++x) {
                 sad += std::abs(static_cast<int>(cur.at(Plane::Y, cx + x,
                                                         cy + y))
@@ -102,13 +106,16 @@ sadSubpel(const Frame& cur, int cx, int cy, const Frame& ref, int mvx,
         trace::block(site_rows);
         for (int dy = 0; dy < 4; ++dy) {
             const int y = y0 + dy;
-            trace::load(cur.simAddr(Plane::Y, cx, cy + y), w);
-            const int ry = std::clamp((by4 >> 2) + y, 0, ref.height() - 1);
-            const int rx = std::clamp(bx4 >> 2, 0, ref.width() - 1);
-            trace::load(ref.simAddr(Plane::Y, rx, ry), w + 1);
-            trace::load(ref.simAddr(Plane::Y, rx,
-                                    std::min(ry + 1, ref.height() - 1)),
-                        w + 1);
+            if (trace::active()) {
+                trace::load(cur.simAddr(Plane::Y, cx, cy + y), w);
+                const int ry =
+                    std::clamp((by4 >> 2) + y, 0, ref.height() - 1);
+                const int rx = std::clamp(bx4 >> 2, 0, ref.width() - 1);
+                trace::load(ref.simAddr(Plane::Y, rx, ry), w + 1);
+                trace::load(ref.simAddr(Plane::Y, rx,
+                                        std::min(ry + 1, ref.height() - 1)),
+                            w + 1);
+            }
             for (int x = 0; x < w; ++x) {
                 const int pred = sampleQpel(ref, bx4 + x * 4, by4 + y * 4);
                 sad += std::abs(
@@ -135,8 +142,10 @@ satd4x4(const Frame& cur, int cx, int cy, const uint8_t* pred, int pstride,
 
     int d[16];
     for (int y = 0; y < 4; ++y) {
-        trace::load(cur.simAddr(Plane::Y, cx, cy + y), 4);
-        trace::load(pred_sim + static_cast<uint64_t>(y) * pstride, 4);
+        if (trace::active()) {
+            trace::load(cur.simAddr(Plane::Y, cx, cy + y), 4);
+            trace::load(pred_sim + static_cast<uint64_t>(y) * pstride, 4);
+        }
         for (int x = 0; x < 4; ++x) {
             d[y * 4 + x] = static_cast<int>(cur.at(Plane::Y, cx + x, cy + y))
                            - pred[y * pstride + x];
@@ -193,15 +202,17 @@ mcLumaBlock(uint8_t* dst, int dstride, const Frame& ref, int cx, int cy,
     for (int y = 0; y < h; ++y) {
         VT_SITE(site_row, "pixel.mc.row", 48, 6, Block);
         trace::block(site_row);
-        const int ry = std::clamp((by4 >> 2) + y, 0, ref.height() - 1);
-        const int rx = std::clamp(bx4 >> 2, 0, ref.width() - 1);
-        trace::load(ref.simAddr(Plane::Y, rx, ry), w + 1);
-        if (subpel) {
-            trace::load(ref.simAddr(Plane::Y, rx,
-                                    std::min(ry + 1, ref.height() - 1)),
-                        w + 1);
+        if (trace::active()) {
+            const int ry = std::clamp((by4 >> 2) + y, 0, ref.height() - 1);
+            const int rx = std::clamp(bx4 >> 2, 0, ref.width() - 1);
+            trace::load(ref.simAddr(Plane::Y, rx, ry), w + 1);
+            if (subpel) {
+                trace::load(ref.simAddr(Plane::Y, rx,
+                                        std::min(ry + 1, ref.height() - 1)),
+                            w + 1);
+            }
+            trace::store(dst_sim + static_cast<uint64_t>(y) * dstride, w);
         }
-        trace::store(dst_sim + static_cast<uint64_t>(y) * dstride, w);
         for (int x = 0; x < w; ++x) {
             dst[y * dstride + x] =
                 static_cast<uint8_t>(sampleQpel(ref, bx4 + x * 4,
@@ -225,11 +236,13 @@ mcChromaBlock(uint8_t* dst, int dstride, const Frame& ref, Plane plane,
     for (int y = 0; y < h; ++y) {
         VT_SITE(site_row, "pixel.mcchroma.row", 44, 4, Block);
         trace::block(site_row);
-        const int ry =
-            std::clamp((by4 >> 2) + y, 0, ref.chromaHeight() - 1);
-        const int rx = std::clamp(bx4 >> 2, 0, ref.chromaWidth() - 1);
-        trace::load(ref.simAddr(plane, rx, ry), w + 1);
-        trace::store(dst_sim + static_cast<uint64_t>(y) * dstride, w);
+        if (trace::active()) {
+            const int ry =
+                std::clamp((by4 >> 2) + y, 0, ref.chromaHeight() - 1);
+            const int rx = std::clamp(bx4 >> 2, 0, ref.chromaWidth() - 1);
+            trace::load(ref.simAddr(plane, rx, ry), w + 1);
+            trace::store(dst_sim + static_cast<uint64_t>(y) * dstride, w);
+        }
         for (int x = 0; x < w; ++x) {
             const int x4 = bx4 + x * 4;
             const int y4 = by4 + y * 4;

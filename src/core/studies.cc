@@ -166,14 +166,14 @@ optimizationStudy(const OptStudyOptions& options)
 
     // --- Training: profile collection over all study videos -----------
     layout::ProfileCollector profile;
-    trace::setSink(&profile);
+    trace::setSink(&profile, trace::defaultBatchCapacity());
     for (const auto& video : videos) {
         const auto& source = mezzanine(video, options.seconds);
         trace::arena().reset();
         codec::EncoderParams params = codec::presetParams("medium");
         codec::transcode(source, params);
     }
-    trace::setSink(nullptr);
+    trace::setSink(nullptr); // Flushes any pending batched events.
 
     auto measure = [&](const std::string& video) {
         double total = 0.0;

@@ -54,10 +54,11 @@ runInstrumented(const RunConfig& config)
     trace::TeeSink tee({&model, &profiler});
     const bool profiled = obs::hotspotsEnabled();
     trace::setSink(profiled ? static_cast<trace::ProbeSink*>(&tee)
-                            : &model);
+                            : &model,
+                   trace::defaultBatchCapacity());
     codec::TranscodeResult transcoded =
         codec::transcode(source, config.params);
-    trace::setSink(nullptr);
+    trace::setSink(nullptr); // Flushes any pending batched events.
     if (profiled) {
         obs::hotspotReport().merge(profiler);
     }

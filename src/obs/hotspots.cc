@@ -76,6 +76,37 @@ HotspotProfiler::onStore(uint64_t addr, uint32_t bytes)
     c.store_bytes += bytes;
 }
 
+void
+HotspotProfiler::onBatch(const trace::ProbeEvent* events, size_t count)
+{
+    // Direct batch consumption mirroring the per-event handlers exactly
+    // (qualified calls — no virtual dispatch), so every tally matches the
+    // per-event path bit-for-bit.
+    trace::SiteRegistry& reg = trace::registry();
+    for (size_t i = 0; i < count; ++i) {
+        const trace::ProbeEvent& e = events[i];
+        switch (e.kind) {
+        case trace::ProbeEvent::kBlock:
+            HotspotProfiler::onBlock(reg.site(e.aux));
+            break;
+        case trace::ProbeEvent::kBlockBranch: {
+            const trace::CodeSite& site = reg.site(e.aux);
+            HotspotProfiler::onBlock(site);
+            HotspotProfiler::onBranch(site, (e.flags & 1) != 0);
+            break;
+        }
+        case trace::ProbeEvent::kLoad:
+            HotspotProfiler::onLoad(e.addr, e.aux);
+            break;
+        case trace::ProbeEvent::kStore:
+            HotspotProfiler::onStore(e.addr, e.aux);
+            break;
+        default:
+            break; // Unknown kinds are rejected by the default replay.
+        }
+    }
+}
+
 uint64_t
 HotspotProfiler::totalInstructions() const
 {

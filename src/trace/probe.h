@@ -13,6 +13,24 @@
  * load()/store(). When no sink is attached the per-event cost is a single
  * predictable branch, so the codec can also run "natively".
  *
+ * Dispatch to an attached sink runs in one of two modes:
+ *
+ *  - **Per-event** (`setSink(sink)`): every emit makes a virtual call into
+ *    the sink immediately. This is the original bus and remains the
+ *    reference semantics.
+ *  - **Batched** (`setSink(sink, capacity)` with capacity >= 2): emits
+ *    append compact `ProbeEvent` PODs to a thread-local ring buffer that is
+ *    flushed to `ProbeSink::onBatch()` whenever it fills (and on flush()/
+ *    detach). The default `onBatch` replays the per-event virtuals in
+ *    order, so every sink observes the exact same event sequence either
+ *    way — batching only amortizes the dispatch cost, it never reorders,
+ *    drops, or duplicates events. Results are bit-identical by
+ *    construction.
+ *
+ * In the batched pipeline a conditional branch is one fused block+branch
+ * record (`ProbeEvent::kBlockBranch`) instead of the two separate virtual
+ * calls the per-event path pays, so branch sites cost a single dispatch.
+ *
  * This layer is the stand-in for binary instrumentation / hardware
  * performance counters in the paper's methodology (Intel VTune + Linux
  * perf, §III-B): instead of sampling a real PMU we observe the actual
@@ -23,6 +41,8 @@
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/status.h"
 
 namespace vtrans::trace {
 
@@ -53,6 +73,33 @@ struct CodeSite
     bool invert = false;       ///< Branch polarity flip from relayout.
 };
 
+/**
+ * One dynamic event of the batched pipeline, as a compact 16-byte POD.
+ *
+ * Only the operand fields a kind defines are written on append; the rest
+ * keep whatever the buffer slot last held, so consumers must not read
+ * them. Branch records carry the direction *after* layout polarity is
+ * applied (exactly what the per-event path hands to `onBranch`).
+ */
+struct ProbeEvent
+{
+    enum Kind : uint8_t {
+        kBlock = 0,       ///< Block executed. aux = site id.
+        kBlockBranch = 1, ///< Fused block + terminating conditional branch.
+                          ///< aux = site id, flags bit 0 = taken.
+        kLoad = 2,        ///< Data load. addr = address, aux = bytes.
+        kStore = 3,       ///< Data store. addr = address, aux = bytes.
+    };
+
+    uint64_t addr;  ///< Load/store simulated address.
+    uint32_t aux;   ///< Site id (block/branch) or byte count (load/store).
+    uint8_t kind;   ///< A Kind value.
+    uint8_t flags;  ///< kBlockBranch: bit 0 = taken (post-polarity).
+    uint16_t reserved;
+};
+
+static_assert(sizeof(ProbeEvent) == 16, "probe events must stay compact");
+
 /** Receives dynamic events from instrumented code. */
 class ProbeSink
 {
@@ -73,6 +120,17 @@ class ProbeSink
 
     /** A data store of `bytes` at simulated address `addr`. */
     virtual void onStore(uint64_t addr, uint32_t bytes) = 0;
+
+    /**
+     * A block of events from the batched pipeline, in emission order.
+     *
+     * The default implementation replays the per-event virtuals (a fused
+     * kBlockBranch record replays as onBlock then onBranch), so existing
+     * sinks work under batching unchanged. Performance-critical sinks
+     * override this to consume the records directly and skip the
+     * per-event virtual dispatch entirely.
+     */
+    virtual void onBatch(const ProbeEvent* events, size_t count);
 };
 
 /**
@@ -84,6 +142,12 @@ class ProbeSink
  * each event to every chained sink before returning. Sinks are invoked in
  * chain order, so a pure observer placed after the model sees exactly the
  * stream the model has already accounted.
+ *
+ * Under the batched pipeline the tee forwards each flushed batch whole:
+ * sink 1 consumes the entire block before sink 2 starts. Each sink still
+ * observes the identical event sequence in the identical order, so any
+ * per-sink result is unchanged; only the interleaving *between* sinks
+ * differs from the per-event path, which no sink can observe.
  *
  * The tee itself is not thread-safe; like any sink it is attached to one
  * thread via `setSink` and owned by that thread's run.
@@ -104,6 +168,7 @@ class TeeSink : public ProbeSink
     void onBranch(const CodeSite& site, bool taken) override;
     void onLoad(uint64_t addr, uint32_t bytes) override;
     void onStore(uint64_t addr, uint32_t bytes) override;
+    void onBatch(const ProbeEvent* events, size_t count) override;
 
   private:
     std::vector<ProbeSink*> sinks_;
@@ -175,44 +240,154 @@ SiteRegistry& registry();
  */
 extern thread_local ProbeSink* g_sink;
 
-/** Attaches a sink on this thread (replacing any); nullptr detaches. */
+namespace detail {
+
+/**
+ * The calling thread's batch cursor. `pos == nullptr` means per-event
+ * dispatch; otherwise events append at `pos` within [begin, end) and the
+ * block flushes to the sink when full.
+ */
+struct BatchCursor
+{
+    ProbeEvent* pos = nullptr;
+    ProbeEvent* end = nullptr;
+    ProbeEvent* begin = nullptr;
+};
+
+extern thread_local BatchCursor g_cursor;
+
+/** Delivers the pending events of this thread's batch to the sink. */
+void flushBatch();
+
+} // namespace detail
+
+/** Attaches a sink on this thread in per-event mode (replacing any);
+ *  nullptr detaches. Pending batched events of the previously attached
+ *  sink are flushed to it first, so no event is ever lost. */
 void setSink(ProbeSink* sink);
+
+/**
+ * Attaches a sink on this thread with batched dispatch: events accumulate
+ * in a thread-local buffer of `batch_capacity` records and are delivered
+ * via `ProbeSink::onBatch`. A capacity of 0 or 1 degenerates to per-event
+ * dispatch. As with the per-event overload, the previous sink's pending
+ * events are flushed before it is replaced.
+ */
+void setSink(ProbeSink* sink, uint32_t batch_capacity);
+
+/** Delivers any pending batched events on this thread to the sink now.
+ *  (Detaching with setSink(nullptr) flushes implicitly.) */
+void flush();
+
+/** Compiled-in default batch capacity, chosen from the
+ *  bench/microbench_probe capacity sweep (see BENCH_probe.json). */
+inline constexpr uint32_t kDefaultProbeBatch = 256;
+
+/**
+ * The process-wide default batch capacity used by instrumented runs
+ * (core::runInstrumented, uarch::simulate). Initialized on first read
+ * from the VTRANS_PROBE_BATCH environment variable when set, else
+ * kDefaultProbeBatch; benches override it with --batch-size. 0 selects
+ * the per-event path, which is how the pipeline is A/B'd.
+ */
+uint32_t defaultBatchCapacity();
+
+/** Overrides the process-wide default batch capacity (0 = per-event). */
+void setDefaultBatchCapacity(uint32_t capacity);
+
+/** True when a sink is attached on this thread. Kernels use this to skip
+ *  probe-argument computation (simulated-address math) on native runs. */
+inline bool
+active()
+{
+    return g_sink != nullptr;
+}
 
 /** Emits a basic-block execution event. */
 inline void
 block(const CodeSite& site)
 {
-    if (g_sink) {
-        g_sink->onBlock(site);
+    if (g_sink == nullptr) {
+        return;
     }
+    detail::BatchCursor& cur = detail::g_cursor;
+    if (cur.pos != nullptr) {
+        ProbeEvent& e = *cur.pos++;
+        e.aux = site.id;
+        e.kind = ProbeEvent::kBlock;
+        if (cur.pos == cur.end) {
+            detail::flushBatch();
+        }
+        return;
+    }
+    g_sink->onBlock(site);
 }
 
-/** Emits a block + conditional-branch event with layout polarity applied. */
+/** Emits a block + conditional-branch event with layout polarity applied.
+ *  Batched, this is a single fused record (one dispatch per branch site);
+ *  per-event it remains the onBlock + onBranch pair. */
 inline void
 branch(const CodeSite& site, bool taken)
 {
-    if (g_sink) {
-        g_sink->onBlock(site);
-        g_sink->onBranch(site, taken != site.invert);
+    if (g_sink == nullptr) {
+        return;
     }
+    const bool direction = taken != site.invert;
+    detail::BatchCursor& cur = detail::g_cursor;
+    if (cur.pos != nullptr) {
+        ProbeEvent& e = *cur.pos++;
+        e.aux = site.id;
+        e.kind = ProbeEvent::kBlockBranch;
+        e.flags = direction ? 1 : 0;
+        if (cur.pos == cur.end) {
+            detail::flushBatch();
+        }
+        return;
+    }
+    g_sink->onBlock(site);
+    g_sink->onBranch(site, direction);
 }
 
 /** Emits a data-load event. */
 inline void
 load(uint64_t addr, uint32_t bytes)
 {
-    if (g_sink) {
-        g_sink->onLoad(addr, bytes);
+    if (g_sink == nullptr) {
+        return;
     }
+    detail::BatchCursor& cur = detail::g_cursor;
+    if (cur.pos != nullptr) {
+        ProbeEvent& e = *cur.pos++;
+        e.addr = addr;
+        e.aux = bytes;
+        e.kind = ProbeEvent::kLoad;
+        if (cur.pos == cur.end) {
+            detail::flushBatch();
+        }
+        return;
+    }
+    g_sink->onLoad(addr, bytes);
 }
 
 /** Emits a data-store event. */
 inline void
 store(uint64_t addr, uint32_t bytes)
 {
-    if (g_sink) {
-        g_sink->onStore(addr, bytes);
+    if (g_sink == nullptr) {
+        return;
     }
+    detail::BatchCursor& cur = detail::g_cursor;
+    if (cur.pos != nullptr) {
+        ProbeEvent& e = *cur.pos++;
+        e.addr = addr;
+        e.aux = bytes;
+        e.kind = ProbeEvent::kStore;
+        if (cur.pos == cur.end) {
+            detail::flushBatch();
+        }
+        return;
+    }
+    g_sink->onStore(addr, bytes);
 }
 
 /**
@@ -228,11 +403,20 @@ class SimArena
     /** Base virtual address of the simulated heap. */
     static constexpr uint64_t kHeapBase = 0x100000000ull;
 
-    /** Reserves `bytes` and returns the range's base address. */
+    /** Reserves `bytes` and returns the range's base address.
+     *  `align` must be a power of two; an allocation that would wrap the
+     *  64-bit simulated address space is an invariant violation. */
     uint64_t
     alloc(uint64_t bytes, uint64_t align = 64)
     {
-        uint64_t base = (next_ + align - 1) & ~(align - 1);
+        VT_ASSERT(align != 0 && (align & (align - 1)) == 0,
+                  "arena alignment must be a power of two, got ", align);
+        const uint64_t base = (next_ + align - 1) & ~(align - 1);
+        VT_ASSERT(base >= next_,
+                  "arena alignment overflows the simulated address space");
+        VT_ASSERT(bytes <= UINT64_MAX - base,
+                  "arena allocation of ", bytes,
+                  " bytes overflows the simulated address space");
         next_ = base + bytes;
         return base;
     }

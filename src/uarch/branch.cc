@@ -34,29 +34,37 @@ PentiumMPredictor::PentiumMPredictor()
 uint32_t
 PentiumMPredictor::bimodalIndex(uint64_t pc) const
 {
-    return static_cast<uint32_t>((pc >> 2) & (kTableSize - 1));
+    return static_cast<uint32_t>(pc >> 2) & kIndexMask;
 }
 
 uint32_t
 PentiumMPredictor::gshareIndex(uint64_t pc) const
 {
-    return static_cast<uint32_t>(((pc >> 2) ^ ghr_) & (kTableSize - 1));
+    return (static_cast<uint32_t>(pc >> 2) ^ ghr_) & kIndexMask;
 }
 
 bool
 PentiumMPredictor::predict(uint64_t pc)
 {
-    const bool bim = bimodal_[bimodalIndex(pc)] >= 2;
-    const bool gsh = gshare_[gshareIndex(pc)] >= 2;
-    const bool use_gshare = chooser_[bimodalIndex(pc)] >= 2;
+    const uint32_t bi = bimodalIndex(pc);
+    const uint32_t gi = gshareIndex(pc);
+    last_pc_ = pc;
+    last_bi_ = bi;
+    last_gi_ = gi;
+    const bool bim = bimodal_[bi] >= 2;
+    const bool gsh = gshare_[gi] >= 2;
+    const bool use_gshare = chooser_[bi] >= 2;
     return use_gshare ? gsh : bim;
 }
 
 void
 PentiumMPredictor::update(uint64_t pc, bool taken)
 {
-    const uint32_t bi = bimodalIndex(pc);
-    const uint32_t gi = gshareIndex(pc);
+    // The core model always pairs update() with the predict() just made
+    // for the same pc; reuse its indices (ghr_ has not shifted yet).
+    const bool paired = pc == last_pc_;
+    const uint32_t bi = paired ? last_bi_ : bimodalIndex(pc);
+    const uint32_t gi = paired ? last_gi_ : gshareIndex(pc);
     const bool bim_correct = (bimodal_[bi] >= 2) == taken;
     const bool gsh_correct = (gshare_[gi] >= 2) == taken;
     if (bim_correct != gsh_correct) {
@@ -65,6 +73,7 @@ PentiumMPredictor::update(uint64_t pc, bool taken)
     train2bit(bimodal_[bi], taken);
     train2bit(gshare_[gi], taken);
     ghr_ = ((ghr_ << 1) | (taken ? 1 : 0)) & 0xfff;
+    last_pc_ = kNoPc; // gshare index is stale once the history shifts.
 }
 
 // ---- TAGE ---------------------------------------------------------------
@@ -73,6 +82,7 @@ constexpr int TagePredictor::kHistLengths[TagePredictor::kTables];
 
 TagePredictor::TagePredictor() : base_(1u << 12, 2)
 {
+    base_mask_ = static_cast<uint32_t>(base_.size()) - 1;
     for (auto& t : tables_) {
         t.resize(kTableSize);
     }
@@ -120,13 +130,22 @@ TagePredictor::predict(uint64_t pc)
     provider_ = -1;
     altpred_table_ = -1;
 
-    const bool base_pred = base_[(pc >> 2) & (base_.size() - 1)] >= 2;
+    // Fold each table's history exactly once per branch; the match scan
+    // below and the paired update() both reuse these (ghist_ shifts only
+    // at the end of update(), so they stay valid until then).
+    base_idx_ = static_cast<uint32_t>(pc >> 2) & base_mask_;
+    for (int t = 0; t < kTables; ++t) {
+        idx_[t] = index(pc, t);
+        tag_[t] = tag(pc, t);
+    }
+
+    const bool base_pred = base_[base_idx_] >= 2;
     altpred_ = base_pred;
     provider_pred_ = base_pred;
 
     for (int t = kTables - 1; t >= 0; --t) {
-        const Entry& e = tables_[t][index(pc, t)];
-        if (e.tag == tag(pc, t)) {
+        const Entry& e = tables_[t][idx_[t]];
+        if (e.tag == tag_[t]) {
             if (provider_ < 0) {
                 provider_ = t;
                 provider_pred_ = e.ctr >= 0;
@@ -148,14 +167,12 @@ TagePredictor::update(uint64_t pc, bool taken)
 {
     VT_ASSERT(pc == last_pc_, "update() must follow predict() for same pc");
 
-    const bool prediction = provider_ >= 0
-                                ? provider_pred_
-                                : (base_[(pc >> 2) & (base_.size() - 1)]
-                                   >= 2);
+    const bool prediction =
+        provider_ >= 0 ? provider_pred_ : (base_[base_idx_] >= 2);
 
     // Train the provider (or the base table).
     if (provider_ >= 0) {
-        Entry& e = tables_[provider_][index(pc, provider_)];
+        Entry& e = tables_[provider_][idx_[provider_]];
         if (taken) {
             if (e.ctr < 3) {
                 ++e.ctr;
@@ -174,7 +191,7 @@ TagePredictor::update(uint64_t pc, bool taken)
             }
         }
     } else {
-        train2bit(base_[(pc >> 2) & (base_.size() - 1)], taken);
+        train2bit(base_[base_idx_], taken);
     }
 
     // Allocate a longer-history entry on a mispredict.
@@ -186,9 +203,9 @@ TagePredictor::update(uint64_t pc, bool taken)
 
         bool allocated = false;
         for (int t = provider_ + 1; t < kTables; ++t) {
-            Entry& e = tables_[t][index(pc, t)];
+            Entry& e = tables_[t][idx_[t]];
             if (e.useful == 0) {
-                e.tag = tag(pc, t);
+                e.tag = tag_[t];
                 e.ctr = taken ? 0 : -1;
                 allocated = true;
                 break;
@@ -197,7 +214,7 @@ TagePredictor::update(uint64_t pc, bool taken)
         if (!allocated) {
             // Decay useful bits on the candidate path.
             for (int t = provider_ + 1; t < kTables; ++t) {
-                Entry& e = tables_[t][index(pc, t)];
+                Entry& e = tables_[t][idx_[t]];
                 if (e.useful > 0) {
                     --e.useful;
                 }
@@ -235,6 +252,7 @@ Btb::Btb(uint32_t entries, uint32_t ways) : ways_(ways)
     VT_ASSERT(entries % ways == 0, "BTB entries must divide into ways");
     sets_ = entries / ways;
     VT_ASSERT((sets_ & (sets_ - 1)) == 0, "BTB set count must be 2^k");
+    set_mask_ = sets_ - 1;
     slots_.resize(entries);
 }
 
@@ -244,11 +262,20 @@ Btb::access(uint64_t pc)
     ++accesses_;
     ++tick_;
     const uint64_t key = pc >> 2;
-    const uint32_t set = static_cast<uint32_t>(key & (sets_ - 1));
+    if (key == mru_key_) {
+        // Same branch as the previous lookup: still resident (only
+        // access() evicts, and it retargets the MRU). Same bookkeeping
+        // as the scan's hit arm, so stats and LRU are bit-identical.
+        mru_entry_->lru = tick_;
+        return true;
+    }
+    const uint32_t set = static_cast<uint32_t>(key) & set_mask_;
     Entry* base = &slots_[static_cast<size_t>(set) * ways_];
     for (uint32_t w = 0; w < ways_; ++w) {
         if (base[w].valid && base[w].tag == key) {
             base[w].lru = tick_;
+            mru_key_ = key;
+            mru_entry_ = &base[w];
             return true;
         }
     }
@@ -266,6 +293,8 @@ Btb::access(uint64_t pc)
     victim->valid = true;
     victim->tag = key;
     victim->lru = tick_;
+    mru_key_ = key;
+    mru_entry_ = victim;
     return false;
 }
 

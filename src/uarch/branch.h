@@ -49,6 +49,8 @@ class PentiumMPredictor : public BranchPredictor
   private:
     static constexpr int kTableBits = 12;
     static constexpr uint32_t kTableSize = 1u << kTableBits;
+    static constexpr uint32_t kIndexMask = kTableSize - 1; ///< Precomputed.
+    static constexpr uint64_t kNoPc = UINT64_MAX;
 
     uint32_t bimodalIndex(uint64_t pc) const;
     uint32_t gshareIndex(uint64_t pc) const;
@@ -57,6 +59,12 @@ class PentiumMPredictor : public BranchPredictor
     std::vector<uint8_t> gshare_;
     std::vector<uint8_t> chooser_;
     uint32_t ghr_ = 0;
+
+    // Indices computed by predict(), reused by the paired update() call
+    // (ghr_ only shifts at the end of update, so they stay valid).
+    uint64_t last_pc_ = kNoPc;
+    uint32_t last_bi_ = 0;
+    uint32_t last_gi_ = 0;
 };
 
 /**
@@ -91,16 +99,23 @@ class TagePredictor : public BranchPredictor
     uint64_t foldedHistory(int bits, int length) const;
 
     std::vector<uint8_t> base_; ///< Bimodal 2-bit counters.
+    uint32_t base_mask_;        ///< base_.size() - 1, precomputed.
     std::vector<Entry> tables_[kTables];
     uint64_t ghist_[4] = {}; ///< 256 bits of global history.
     uint64_t rng_state_ = 0x12345678;
 
-    // Prediction bookkeeping between predict() and update().
+    // Prediction bookkeeping between predict() and update(). The per-table
+    // indices and tags are pure functions of (pc, ghist) and ghist only
+    // shifts at the end of update(), so predict() computes each folded
+    // history once and the paired update() reuses it.
     int provider_ = -1;
     int altpred_table_ = -1;
     bool provider_pred_ = false;
     bool altpred_ = false;
     uint64_t last_pc_ = 0;
+    uint32_t base_idx_ = 0;
+    uint32_t idx_[kTables] = {};
+    uint16_t tag_[kTables] = {};
 };
 
 /** Creates a predictor by family name. */
@@ -129,9 +144,15 @@ class Btb
         bool valid = false;
     };
 
+    /// Sentinel for "no MRU key cached" (pc >> 2 never reaches this).
+    static constexpr uint64_t kNoKey = UINT64_MAX;
+
     uint32_t sets_;
     uint32_t ways_;
-    std::vector<Entry> slots_;
+    uint32_t set_mask_;          ///< sets_ - 1, precomputed.
+    std::vector<Entry> slots_;   ///< Stable storage (sized in the ctor).
+    uint64_t mru_key_ = kNoKey;  ///< Key of the most recent access.
+    Entry* mru_entry_ = nullptr; ///< Its resident entry.
     uint64_t tick_ = 0;
     uint64_t accesses_ = 0;
     uint64_t misses_ = 0;

@@ -26,6 +26,9 @@ Cache::Cache(std::string name, const CacheParams& params)
               "cache size must be a whole number of sets: ", name_);
     sets_ = params_.size_bytes / (params_.line_bytes * params_.assoc);
     VT_ASSERT(isPowerOfTwo(sets_), "set count must be 2^k: ", name_);
+    line_shift_ = static_cast<uint32_t>(__builtin_ctz(params_.line_bytes));
+    set_mask_ = sets_ - 1;
+    tag_shift_ = static_cast<uint32_t>(__builtin_ctz(sets_));
     ways_.resize(static_cast<size_t>(sets_) * params_.assoc);
 }
 
@@ -34,15 +37,25 @@ Cache::access(uint64_t addr)
 {
     ++accesses_;
     ++tick_;
-    const uint64_t line = addr / params_.line_bytes;
-    const uint32_t set = static_cast<uint32_t>(line & (sets_ - 1));
-    const uint64_t tag = line >> __builtin_ctz(sets_);
+    const uint64_t line = addr >> line_shift_;
+    if (line == mru_line_) {
+        // Same line as the previous access: it is resident in mru_way_
+        // (just hit or just filled there, and nothing evicted it since —
+        // any eviction goes through access(), which retargets the MRU).
+        // Identical bookkeeping to the scan's hit arm.
+        mru_way_->lru = tick_;
+        return true;
+    }
+    const uint32_t set = static_cast<uint32_t>(line) & set_mask_;
+    const uint64_t tag = line >> tag_shift_;
 
     Way* base = &ways_[static_cast<size_t>(set) * params_.assoc];
     for (uint32_t w = 0; w < params_.assoc; ++w) {
         Way& way = base[w];
         if (way.valid && way.tag == tag) {
             way.lru = tick_;
+            mru_line_ = line;
+            mru_way_ = &way;
             return true;
         }
     }
@@ -61,15 +74,17 @@ Cache::access(uint64_t addr)
     victim->valid = true;
     victim->tag = tag;
     victim->lru = tick_;
+    mru_line_ = line;
+    mru_way_ = victim;
     return false;
 }
 
 bool
 Cache::contains(uint64_t addr) const
 {
-    const uint64_t line = addr / params_.line_bytes;
-    const uint32_t set = static_cast<uint32_t>(line & (sets_ - 1));
-    const uint64_t tag = line >> __builtin_ctz(sets_);
+    const uint64_t line = addr >> line_shift_;
+    const uint32_t set = static_cast<uint32_t>(line) & set_mask_;
+    const uint64_t tag = line >> tag_shift_;
     const Way* base = &ways_[static_cast<size_t>(set) * params_.assoc];
     for (uint32_t w = 0; w < params_.assoc; ++w) {
         if (base[w].valid && base[w].tag == tag) {
@@ -85,6 +100,8 @@ Cache::reset()
     for (auto& way : ways_) {
         way.valid = false;
     }
+    mru_line_ = kNoLine;
+    mru_way_ = nullptr;
     tick_ = 0;
     accesses_ = 0;
     misses_ = 0;

@@ -27,6 +27,12 @@ struct CacheParams
 /**
  * One set-associative cache level with true-LRU replacement.
  * Tag-only (no data): the simulator needs hit/miss, not contents.
+ *
+ * Lookups take an MRU fast path: the line and way of the most recent
+ * access are cached, so the streaming re-references that dominate the
+ * codec's access pattern skip the set scan entirely. The fast path
+ * performs the identical counter and LRU updates as the full scan, so
+ * every statistic and every replacement decision is bit-identical.
  */
 class Cache
 {
@@ -60,10 +66,18 @@ class Cache
         bool valid = false;
     };
 
+    /// Sentinel for "no MRU line cached" (never a real line number).
+    static constexpr uint64_t kNoLine = UINT64_MAX;
+
     std::string name_;
     CacheParams params_;
     uint32_t sets_;
-    std::vector<Way> ways_; ///< sets_ x assoc, row-major.
+    uint32_t line_shift_;  ///< log2(line_bytes): addr -> line without divide.
+    uint32_t set_mask_;    ///< sets_ - 1, precomputed.
+    uint32_t tag_shift_;   ///< log2(sets_), precomputed.
+    std::vector<Way> ways_; ///< sets_ x assoc, row-major (stable storage).
+    uint64_t mru_line_ = kNoLine; ///< Line of the most recent access.
+    Way* mru_way_ = nullptr;      ///< Its resident way.
     uint64_t tick_ = 0;
     uint64_t accesses_ = 0;
     uint64_t misses_ = 0;

@@ -114,7 +114,10 @@ CoreModel::CoreModel(const CoreParams& params)
               params.latencies),
       itlb_(params.itlb_entries),
       predictor_(makePredictor(params.predictor)),
-      btb_()
+      btb_(),
+      rob_(static_cast<size_t>(std::max(params.rob_size, 1))),
+      rs_(static_cast<size_t>(std::max(params.rs_size, 1))),
+      sb_(static_cast<size_t>(std::max(params.sb_size, 1)))
 {
     VT_ASSERT(params_.width > 0 && params_.rob_size > 0
                   && params_.rs_size > 0 && params_.sb_size > 0,
@@ -481,6 +484,37 @@ CoreModel::onStore(uint64_t addr, uint32_t bytes)
     robPush(cur_cycle_ + 1, 1, false);
     rsPush(cur_cycle_ + 1, 1, false);
     dispatch(1);
+}
+
+void
+CoreModel::onBatch(const trace::ProbeEvent* events, size_t count)
+{
+    // Direct batch consumption: the same member functions handle each
+    // record in emission order (qualified calls — no virtual dispatch),
+    // so the resulting stats are bit-identical to the per-event path.
+    trace::SiteRegistry& reg = trace::registry();
+    for (size_t i = 0; i < count; ++i) {
+        const trace::ProbeEvent& e = events[i];
+        switch (e.kind) {
+        case trace::ProbeEvent::kBlock:
+            CoreModel::onBlock(reg.site(e.aux));
+            break;
+        case trace::ProbeEvent::kBlockBranch: {
+            const trace::CodeSite& site = reg.site(e.aux);
+            CoreModel::onBlock(site);
+            CoreModel::onBranch(site, (e.flags & 1) != 0);
+            break;
+        }
+        case trace::ProbeEvent::kLoad:
+            CoreModel::onLoad(e.addr, e.aux);
+            break;
+        case trace::ProbeEvent::kStore:
+            CoreModel::onStore(e.addr, e.aux);
+            break;
+        default:
+            VT_PANIC("corrupt probe event kind ", static_cast<int>(e.kind));
+        }
+    }
 }
 
 CoreStats

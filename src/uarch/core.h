@@ -19,7 +19,6 @@
  */
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -27,6 +26,7 @@
 #include "trace/probe.h"
 #include "uarch/branch.h"
 #include "uarch/cache.h"
+#include "uarch/ringbuf.h"
 #include "uarch/tlb.h"
 
 namespace vtrans::uarch {
@@ -137,6 +137,11 @@ class CoreModel : public trace::ProbeSink
     void onLoad(uint64_t addr, uint32_t bytes) override;
     void onStore(uint64_t addr, uint32_t bytes) override;
 
+    /** Consumes a batch directly (no per-event virtual dispatch); the
+     *  records are handled in order by the same member functions, so the
+     *  resulting CoreStats are bit-identical to the per-event path. */
+    void onBatch(const trace::ProbeEvent* events, size_t count) override;
+
     /** Finalizes accounting and returns the statistics. */
     CoreStats finish();
 
@@ -199,10 +204,12 @@ class CoreModel : public trace::ProbeSink
     uint64_t fetch_ready_ = 0;
     StallCause fetch_reason_ = StallCause::Frontend;
 
-    // Window occupancy.
-    std::deque<WindowEntry> rob_;
-    std::deque<WindowEntry> rs_;
-    std::deque<WindowEntry> sb_;
+    // Window occupancy. Ring buffers instead of deques: coalescing keeps
+    // the entry count far below the modelled structure size, so in steady
+    // state these never allocate (see uarch/ringbuf.h).
+    RingBuffer<WindowEntry> rob_;
+    RingBuffer<WindowEntry> rs_;
+    RingBuffer<WindowEntry> sb_;
     uint64_t rob_count_ = 0;
     uint64_t rs_count_ = 0;
     uint64_t sb_count_ = 0;
@@ -211,19 +218,22 @@ class CoreModel : public trace::ProbeSink
     uint64_t sb_last_drain_ = 0;
 
     uint64_t last_load_complete_ = 0;
-    std::deque<uint64_t> mshr_;  ///< Completion times of in-flight misses.
+    RingBuffer<uint64_t> mshr_; ///< Completion times of in-flight misses.
 
     CoreStats stats_;
     bool finished_ = false;
 };
 
-/** Runs a callable under this core model and returns its stats. */
+/** Runs a callable under this core model and returns its stats. The model
+ *  attaches with the process default batch capacity (see
+ *  trace::defaultBatchCapacity); detaching flushes any pending events
+ *  before finish() reads the state. */
 template <typename Workload>
 CoreStats
 simulate(const CoreParams& params, Workload&& workload)
 {
     CoreModel model(params);
-    trace::setSink(&model);
+    trace::setSink(&model, trace::defaultBatchCapacity());
     workload();
     trace::setSink(nullptr);
     return model.finish();

@@ -27,21 +27,33 @@ class Tlb
                   kWays);
         sets_ = entries / kWays;
         VT_ASSERT((sets_ & (sets_ - 1)) == 0, "TLB set count must be 2^k");
+        set_mask_ = sets_ - 1;
         slots_.resize(entries);
     }
 
-    /** Looks up the page of `addr`, filling on miss. @return hit? */
+    /** Looks up the page of `addr`, filling on miss. @return hit?
+     *
+     *  Consecutive accesses to the same page (one per instrumented basic
+     *  block — by far the common case) take an MRU fast path that skips
+     *  the set scan; its bookkeeping is identical to the scan's hit arm,
+     *  so stats and replacement stay bit-identical. */
     bool
     access(uint64_t addr)
     {
         ++accesses_;
         ++tick_;
         const uint64_t page = addr >> 12;
-        const uint32_t set = static_cast<uint32_t>(page & (sets_ - 1));
+        if (page == mru_page_) {
+            mru_entry_->lru = tick_;
+            return true;
+        }
+        const uint32_t set = static_cast<uint32_t>(page) & set_mask_;
         Entry* base = &slots_[static_cast<size_t>(set) * kWays];
         for (uint32_t w = 0; w < kWays; ++w) {
             if (base[w].valid && base[w].page == page) {
                 base[w].lru = tick_;
+                mru_page_ = page;
+                mru_entry_ = &base[w];
                 return true;
             }
         }
@@ -59,6 +71,8 @@ class Tlb
         victim->valid = true;
         victim->page = page;
         victim->lru = tick_;
+        mru_page_ = page;
+        mru_entry_ = victim;
         return false;
     }
 
@@ -68,6 +82,8 @@ class Tlb
         for (auto& e : slots_) {
             e.valid = false;
         }
+        mru_page_ = kNoPage;
+        mru_entry_ = nullptr;
         tick_ = 0;
         accesses_ = 0;
         misses_ = 0;
@@ -85,9 +101,15 @@ class Tlb
         bool valid = false;
     };
 
+    /// Sentinel for "no MRU page cached" (addr >> 12 never reaches this).
+    static constexpr uint64_t kNoPage = UINT64_MAX;
+
     uint32_t entries_;
     uint32_t sets_;
-    std::vector<Entry> slots_;
+    uint32_t set_mask_;           ///< sets_ - 1, precomputed.
+    std::vector<Entry> slots_;    ///< Stable storage (sized in the ctor).
+    uint64_t mru_page_ = kNoPage; ///< Page of the most recent access.
+    Entry* mru_entry_ = nullptr;  ///< Its resident entry.
     uint64_t tick_ = 0;
     uint64_t accesses_ = 0;
     uint64_t misses_ = 0;

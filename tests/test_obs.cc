@@ -268,6 +268,42 @@ TEST(Hotspots, ProfiledRunsFingerprintIdenticalToUnprofiled)
     obs::hotspotReport().reset();
 }
 
+TEST(Hotspots, BatchedPipelineBitIdenticalAtOneAndFourWorkers)
+{
+    // The tentpole invariant: routing events through the batched probe
+    // pipeline must not move a single bit — run-log JSONL (fingerprints,
+    // latencies, stats) and the hotspot report must match the per-event
+    // dispatch exactly, serial and parallel alike. Capacity 3 keeps the
+    // ring wrapping constantly under a real transcode workload.
+    const uint32_t original = trace::defaultBatchCapacity();
+    auto runWith = [](uint32_t capacity, int workers,
+                      std::string* hotspots) {
+        trace::setDefaultBatchCapacity(capacity);
+        obs::hotspotReport().reset();
+        const std::string jsonl = farmJsonl(workers, true);
+        *hotspots = obs::hotspotReport().toJson();
+        obs::hotspotReport().reset();
+        return jsonl;
+    };
+
+    for (int workers : {1, 4}) {
+        std::string per_event_hot;
+        std::string batched_hot;
+        std::string tiny_hot;
+        const std::string per_event = runWith(0, workers, &per_event_hot);
+        const std::string batched =
+            runWith(trace::kDefaultProbeBatch, workers, &batched_hot);
+        const std::string tiny = runWith(3, workers, &tiny_hot);
+        EXPECT_EQ(batched, per_event) << workers << " workers";
+        EXPECT_EQ(batched_hot, per_event_hot) << workers << " workers";
+        EXPECT_EQ(tiny, per_event) << workers << " workers, capacity 3";
+        EXPECT_EQ(tiny_hot, per_event_hot)
+            << workers << " workers, capacity 3";
+        EXPECT_NE(per_event_hot.find("by_site"), std::string::npos);
+    }
+    trace::setDefaultBatchCapacity(original);
+}
+
 // --------------------------------------------------------------- spans
 
 TEST(Spans, ScopedRecordsWallSpansWithArgs)

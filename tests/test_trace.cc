@@ -217,5 +217,242 @@ TEST(Arena, SequentialAlignedAllocation)
     EXPECT_EQ(arena.alloc(8), trace::SimArena::kHeapBase);
 }
 
+TEST(Arena, NonPowerOfTwoAlignmentIsFatal)
+{
+    trace::SimArena arena;
+    EXPECT_DEATH(arena.alloc(64, 48), "power of two");
+    EXPECT_DEATH(arena.alloc(64, 0), "power of two");
+}
+
+TEST(Arena, OverflowingAllocationIsFatal)
+{
+    trace::SimArena arena;
+    // A byte count that would wrap the 64-bit simulated address space.
+    EXPECT_DEATH(arena.alloc(UINT64_MAX - 16), "overflows");
+    // An alignment round-up that would wrap.
+    arena.alloc(UINT64_MAX - trace::SimArena::kHeapBase - (1u << 20));
+    EXPECT_DEATH(arena.alloc(8, 1ull << 63), "overflows");
+}
+
+// ---- Batched pipeline ------------------------------------------------------
+
+/** Captures raw batch records (overrides onBatch, no replay). */
+class BatchRecordingSink : public ProbeSink
+{
+  public:
+    std::vector<trace::ProbeEvent> records;
+    size_t flushes = 0;
+
+    void onBlock(const CodeSite&) override { ADD_FAILURE(); }
+    void onBranch(const CodeSite&, bool) override { ADD_FAILURE(); }
+    void onLoad(uint64_t, uint32_t) override { ADD_FAILURE(); }
+    void onStore(uint64_t, uint32_t) override { ADD_FAILURE(); }
+    void
+    onBatch(const trace::ProbeEvent* events, size_t count) override
+    {
+        ++flushes;
+        records.insert(records.end(), events, events + count);
+    }
+};
+
+TEST(BatchPipeline, DefaultReplayDeliversIdenticalEventSequence)
+{
+    VT_SITE(site, "test.batch.block", 32, 4, Block);
+    VT_SITE(br, "test.batch.branch", 8, 1, Branch);
+    auto emit = [&] {
+        trace::block(site);
+        trace::load(0x2000, 16);
+        trace::store(0x3000, 4);
+        trace::branch(br, true);
+        trace::branch(br, false);
+        trace::load(0x4000, 8);
+    };
+
+    RecordingSink per_event;
+    trace::setSink(&per_event);
+    emit();
+    trace::setSink(nullptr);
+
+    // Tiny capacity forces mid-stream wraparound flushes; the sink must
+    // still observe the identical sequence through the default replay.
+    for (uint32_t capacity : {2u, 3u, 5u, 256u}) {
+        RecordingSink batched;
+        trace::setSink(&batched, capacity);
+        emit();
+        trace::setSink(nullptr); // Flushes the tail.
+        ASSERT_EQ(batched.events.size(), per_event.events.size())
+            << "capacity " << capacity;
+        for (size_t i = 0; i < per_event.events.size(); ++i) {
+            EXPECT_EQ(batched.events[i].kind, per_event.events[i].kind);
+            EXPECT_EQ(batched.events[i].a, per_event.events[i].a);
+            EXPECT_EQ(batched.events[i].b, per_event.events[i].b);
+        }
+    }
+}
+
+TEST(BatchPipeline, BranchIsOneFusedRecord)
+{
+    VT_SITE(br, "test.batch.fused", 8, 1, Branch);
+    BatchRecordingSink sink;
+    trace::setSink(&sink, 16);
+    trace::branch(br, true);
+    trace::branch(br, false);
+    trace::setSink(nullptr);
+
+    ASSERT_EQ(sink.records.size(), 2u)
+        << "block+branch must fuse into one record";
+    EXPECT_EQ(sink.records[0].kind, trace::ProbeEvent::kBlockBranch);
+    EXPECT_EQ(sink.records[0].aux, br.id);
+    EXPECT_EQ(sink.records[0].flags & 1, 1);
+    EXPECT_EQ(sink.records[1].flags & 1, 0);
+}
+
+TEST(BatchPipeline, FusedRecordCarriesPostPolarityDirection)
+{
+    VT_SITE(br, "test.batch.fusedpolarity", 8, 1, Branch);
+    BatchRecordingSink sink;
+    br.invert = true;
+    trace::setSink(&sink, 16);
+    trace::branch(br, true); // Inverted: delivered direction is false.
+    trace::setSink(nullptr);
+    br.invert = false;
+
+    ASSERT_EQ(sink.records.size(), 1u);
+    EXPECT_EQ(sink.records[0].flags & 1, 0);
+}
+
+TEST(BatchPipeline, FullBufferFlushesAndRefills)
+{
+    VT_SITE(site, "test.batch.wrap", 16, 2, Block);
+    BatchRecordingSink sink;
+    trace::setSink(&sink, 4);
+    for (int i = 0; i < 10; ++i) {
+        trace::block(site);
+    }
+    EXPECT_EQ(sink.flushes, 2u); // Two full buffers so far...
+    EXPECT_EQ(sink.records.size(), 8u);
+    trace::setSink(nullptr);     // ...and the 2-event tail on detach.
+    EXPECT_EQ(sink.flushes, 3u);
+    EXPECT_EQ(sink.records.size(), 10u);
+}
+
+TEST(BatchPipeline, ExplicitFlushDeliversPendingEvents)
+{
+    VT_SITE(site, "test.batch.flush", 16, 2, Block);
+    BatchRecordingSink sink;
+    trace::setSink(&sink, 64);
+    trace::block(site);
+    trace::block(site);
+    EXPECT_EQ(sink.records.size(), 0u) << "buffered, not yet delivered";
+    trace::flush();
+    EXPECT_EQ(sink.records.size(), 2u);
+    trace::flush(); // Empty flush is a no-op, not a zero-length batch.
+    EXPECT_EQ(sink.flushes, 1u);
+    trace::setSink(nullptr);
+    EXPECT_EQ(sink.flushes, 1u) << "nothing pending on detach";
+}
+
+TEST(BatchPipeline, SwitchingSinksFlushesToTheOldSink)
+{
+    VT_SITE(site, "test.batch.switch", 16, 2, Block);
+    BatchRecordingSink old_sink;
+    RecordingSink new_sink;
+    trace::setSink(&old_sink, 64);
+    trace::block(site);
+    trace::setSink(&new_sink); // Pending event belongs to old_sink.
+    trace::block(site);
+    trace::setSink(nullptr);
+
+    EXPECT_EQ(old_sink.records.size(), 1u);
+    EXPECT_EQ(new_sink.events.size(), 1u);
+}
+
+TEST(BatchPipeline, CapacityAtMostOneIsPerEventDispatch)
+{
+    VT_SITE(site, "test.batch.tiny", 16, 2, Block);
+    for (uint32_t capacity : {0u, 1u}) {
+        RecordingSink sink;
+        trace::setSink(&sink, capacity);
+        trace::block(site);
+        EXPECT_EQ(sink.events.size(), 1u)
+            << "capacity " << capacity << " must dispatch immediately";
+        trace::setSink(nullptr);
+    }
+}
+
+TEST(BatchPipeline, DefaultCapacityOverride)
+{
+    const uint32_t original = trace::defaultBatchCapacity();
+    trace::setDefaultBatchCapacity(7);
+    EXPECT_EQ(trace::defaultBatchCapacity(), 7u);
+    trace::setDefaultBatchCapacity(original);
+    EXPECT_EQ(trace::defaultBatchCapacity(), original);
+}
+
+TEST(BatchPipeline, TeeForwardsBatchesToEverySink)
+{
+    VT_SITE(site, "test.batch.tee", 16, 2, Block);
+    VT_SITE(br, "test.batch.teebranch", 8, 1, Branch);
+    RecordingSink first;
+    RecordingSink second;
+    trace::TeeSink tee({&first, &second});
+    trace::setSink(&tee, 4); // Small capacity: several flushes.
+    for (int i = 0; i < 5; ++i) {
+        trace::block(site);
+        trace::branch(br, i % 2 == 0);
+        trace::load(0x1000 + i, 8);
+    }
+    trace::setSink(nullptr);
+
+    ASSERT_EQ(first.events.size(), 20u); // 5 x (block + block + branch + load)
+    ASSERT_EQ(second.events.size(), first.events.size());
+    for (size_t i = 0; i < first.events.size(); ++i) {
+        EXPECT_EQ(first.events[i].kind, second.events[i].kind) << i;
+        EXPECT_EQ(first.events[i].a, second.events[i].a) << i;
+        EXPECT_EQ(first.events[i].b, second.events[i].b) << i;
+    }
+}
+
+TEST(BatchPipeline, ThreadsBatchIndependently)
+{
+    // Each thread owns its cursor and buffer: concurrent batched runs
+    // must neither cross-deliver nor corrupt each other (this is the
+    // TSan coverage of the batched pipeline's thread-local state).
+    VT_SITE(site, "test.batch.threads", 16, 2, Block);
+    VT_SITE(br, "test.batch.threadsbr", 8, 1, Branch);
+
+    constexpr int kThreads = 4;
+    constexpr int kIters = 2000;
+    std::vector<std::vector<RecordingSink::Event>> seen(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&seen, t, &site, &br] {
+            RecordingSink sink;
+            // Different capacities per thread: wraparound at different
+            // points, same delivered stream.
+            trace::setSink(&sink, 2 + static_cast<uint32_t>(t) * 31);
+            for (int i = 0; i < kIters; ++i) {
+                trace::block(site);
+                trace::load(0x1000 + static_cast<uint64_t>(i) * 64, 16);
+                trace::branch(br, i % 3 != 0);
+                trace::store(0x9000 + static_cast<uint64_t>(i) * 64, 8);
+            }
+            trace::setSink(nullptr);
+            seen[t] = std::move(sink.events);
+        });
+    }
+    for (auto& th : threads) {
+        th.join();
+    }
+    for (int t = 0; t < kThreads; ++t) {
+        ASSERT_EQ(seen[t].size(), static_cast<size_t>(kIters) * 5) << t;
+        for (size_t i = 0; i < seen[t].size(); ++i) {
+            EXPECT_EQ(seen[t][i].kind, seen[0][i].kind);
+            EXPECT_EQ(seen[t][i].a, seen[0][i].a);
+            EXPECT_EQ(seen[t][i].b, seen[0][i].b);
+        }
+    }
+}
+
 } // namespace
 } // namespace vtrans

@@ -7,12 +7,15 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
+
 #include "common/rng.h"
 #include "trace/probe.h"
 #include "uarch/branch.h"
 #include "uarch/cache.h"
 #include "uarch/config.h"
 #include "uarch/core.h"
+#include "uarch/ringbuf.h"
 #include "uarch/tlb.h"
 
 namespace vtrans {
@@ -391,6 +394,149 @@ TEST(Core, SecondsScaleWithFrequency)
     s.cycles = 3'500'000'000ull;
     s.freq_ghz = 3.5;
     EXPECT_NEAR(s.seconds(), 1.0, 1e-9);
+}
+
+// ---- Ring buffer ----------------------------------------------------------
+
+TEST(RingBuffer, PushPopFifoOrder)
+{
+    RingBuffer<int> ring(4);
+    EXPECT_TRUE(ring.empty());
+    ring.push_back(1);
+    ring.push_back(2);
+    ring.push_back(3);
+    EXPECT_EQ(ring.size(), 3u);
+    EXPECT_EQ(ring.front(), 1);
+    EXPECT_EQ(ring.back(), 3);
+    EXPECT_EQ(ring[1], 2);
+    ring.pop_front();
+    EXPECT_EQ(ring.front(), 2);
+    ring.pop_front();
+    ring.pop_front();
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(RingBuffer, WrapsAroundTheStorageBoundary)
+{
+    RingBuffer<int> ring(4);
+    // Advance head past the physical end several times.
+    for (int i = 0; i < 100; ++i) {
+        ring.push_back(i);
+        ring.push_back(i + 1000);
+        EXPECT_EQ(ring.front(), i);
+        ring.pop_front();
+        EXPECT_EQ(ring.front(), i + 1000);
+        ring.pop_front();
+    }
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(RingBuffer, GrowsPastNominalCapacityPreservingOrder)
+{
+    // The MSHR list can exceed its nominal size; the ring must grow
+    // transparently, like the deque it replaced.
+    RingBuffer<int> ring(4);
+    for (int i = 0; i < 3; ++i) {
+        ring.push_back(i);
+        ring.pop_front(); // Skew head so growth happens mid-wrap.
+    }
+    for (int i = 0; i < 50; ++i) {
+        ring.push_back(i);
+    }
+    ASSERT_EQ(ring.size(), 50u);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(ring[static_cast<size_t>(i)], i);
+    }
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(ring.front(), i);
+        ring.pop_front();
+    }
+}
+
+TEST(RingBuffer, MatchesDequeUnderRandomOperations)
+{
+    RingBuffer<uint64_t> ring(8);
+    std::deque<uint64_t> reference;
+    Rng rng(42);
+    for (int step = 0; step < 20000; ++step) {
+        if (reference.empty() || rng.chance(0.55)) {
+            const uint64_t v = rng.below(1u << 30);
+            ring.push_back(v);
+            reference.push_back(v);
+        } else {
+            ASSERT_EQ(ring.front(), reference.front()) << step;
+            ring.pop_front();
+            reference.pop_front();
+        }
+        ASSERT_EQ(ring.size(), reference.size()) << step;
+        if (!reference.empty()) {
+            ASSERT_EQ(ring.back(), reference.back()) << step;
+            const size_t mid = reference.size() / 2;
+            ASSERT_EQ(ring[mid], reference[mid]) << step;
+        }
+    }
+    ring.clear();
+    EXPECT_TRUE(ring.empty());
+}
+
+// ---- Batched dispatch vs per-event (bit-identity) -------------------------
+
+/** The satellite regression: a branch-heavy kernel (where the fused
+ *  kBlockBranch record carries the direction) must produce bit-identical
+ *  CoreStats through the batched pipeline at any capacity. */
+TEST(CoreBatch, BranchHeavyStatsAreBitIdentical)
+{
+    auto run = [](uint32_t batch_capacity) {
+        VT_SITE(site, "coretest.batch.blk", 48, 6, Block);
+        VT_SITE(br, "coretest.batch.br", 16, 2, Branch);
+        VT_SITE(loop, "coretest.batch.loop", 12, 1, Branch);
+        CoreModel model(baselineConfig());
+        trace::setSink(&model, batch_capacity);
+        Rng rng(7);
+        uint64_t addr = 0x600000000ull;
+        for (int i = 0; i < 60000; ++i) {
+            trace::block(site);
+            trace::load(addr, 16);
+            trace::branch(br, rng.chance(0.4));  // Hard to predict.
+            trace::branch(loop, i % 13 != 0);    // Learnable.
+            trace::store(addr + 64, 8);
+            addr += 192;
+        }
+        trace::setSink(nullptr);
+        return model.finish();
+    };
+
+    const CoreStats per_event = run(0);
+    EXPECT_GT(per_event.branches, 100000u);
+    EXPECT_GT(per_event.branch_mispredicts, 0u);
+    // Capacity 3: constant wraparound; 256: the production default.
+    for (uint32_t capacity : {3u, 64u, 256u}) {
+        const CoreStats batched = run(capacity);
+        EXPECT_EQ(batched.instructions, per_event.instructions);
+        EXPECT_EQ(batched.cycles, per_event.cycles);
+        EXPECT_EQ(batched.branches, per_event.branches);
+        EXPECT_EQ(batched.branch_mispredicts,
+                  per_event.branch_mispredicts);
+        EXPECT_EQ(batched.l1d_accesses, per_event.l1d_accesses);
+        EXPECT_EQ(batched.l1d_misses, per_event.l1d_misses);
+        EXPECT_EQ(batched.l2_misses, per_event.l2_misses);
+        EXPECT_EQ(batched.l3_misses, per_event.l3_misses);
+        EXPECT_EQ(batched.l1i_accesses, per_event.l1i_accesses);
+        EXPECT_EQ(batched.l1i_misses, per_event.l1i_misses);
+        EXPECT_EQ(batched.itlb_misses, per_event.itlb_misses);
+        EXPECT_EQ(batched.btb_misses, per_event.btb_misses);
+        EXPECT_EQ(batched.slots_total, per_event.slots_total);
+        EXPECT_EQ(batched.slots_retiring, per_event.slots_retiring);
+        EXPECT_EQ(batched.slots_frontend, per_event.slots_frontend);
+        EXPECT_EQ(batched.slots_bad_spec, per_event.slots_bad_spec);
+        EXPECT_EQ(batched.slots_backend_memory,
+                  per_event.slots_backend_memory);
+        EXPECT_EQ(batched.slots_backend_core,
+                  per_event.slots_backend_core);
+        EXPECT_EQ(batched.slots_rob_stall, per_event.slots_rob_stall);
+        EXPECT_EQ(batched.slots_rs_stall, per_event.slots_rs_stall);
+        EXPECT_EQ(batched.slots_sb_stall, per_event.slots_sb_stall);
+    }
 }
 
 // ---- Table IV configs ----------------------------------------------------

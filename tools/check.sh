@@ -7,7 +7,8 @@
 #   tools/check.sh [build-dir]
 #
 # VTRANS_SKIP_TSAN=1 skips the sanitizer pass (e.g. on toolchains
-# without tsan runtime support).
+# without tsan runtime support). VTRANS_SKIP_PERF=1 skips the probe
+# pipeline perf smoke (a Release build + microbenchmark).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -43,12 +44,25 @@ VTRANS_TRACE_JSON="$OBS_DIR/farm-trace.json" \
     "$BUILD_DIR"/tests/test_obs \
     --gtest_filter='ArtifactValidation.ChromeTraceFileParses'
 
+if [[ "${VTRANS_SKIP_PERF:-0}" != 1 ]]; then
+    echo "== probe pipeline perf smoke (Release) =="
+    # Batched dispatch must stay bit-identical AND faster than per-event:
+    # microbench_probe exits non-zero if identity breaks or the pipeline
+    # speedup falls below --min-speedup. Writes BENCH_probe.json.
+    PERF_DIR="${BUILD_DIR}-release"
+    cmake -B "$PERF_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build "$PERF_DIR" -j --target microbench_probe
+    "$PERF_DIR"/bench/microbench_probe --min-speedup 1.5 \
+        --out "$PERF_DIR/BENCH_probe.json"
+fi
+
 if [[ "${VTRANS_SKIP_TSAN:-0}" != 1 ]]; then
-    echo "== thread-sanitizer: farm + parallel sweep + observability =="
+    echo "== thread-sanitizer: probe bus + farm + sweep + observability =="
     TSAN_DIR="${BUILD_DIR}-tsan"
     cmake -B "$TSAN_DIR" -S . -DVTRANS_SANITIZE=thread
-    cmake --build "$TSAN_DIR" -j --target test_farm test_parallel_sweep \
-        test_obs
+    cmake --build "$TSAN_DIR" -j --target test_trace test_farm \
+        test_parallel_sweep test_obs
+    "$TSAN_DIR"/tests/test_trace
     "$TSAN_DIR"/tests/test_farm
     "$TSAN_DIR"/tests/test_parallel_sweep
     "$TSAN_DIR"/tests/test_obs
