@@ -13,11 +13,19 @@
  *       [--queue fifo|priority|edf] [--faults 0.0] [--retries 2]
  *       [--seed 7] [--log runlog.jsonl] [--trace-out trace.json]
  *       [--metrics] [--verbose]
+ *
+ * With `--chunked` every request is submitted as a GOP-chunked job graph
+ * (split -> parallel chunk encodes -> dependent stitch, see
+ * chunk/chunk.h): `--chunk-frames N` sets the boundary spacing in frames
+ * (default 3), `--max-chunks M` caps the chunks per graph (0 = one per
+ * GOP segment). The run log then carries per-graph boundary-cost deltas
+ * vs the unchunked encode, and a graph summary is printed.
  */
 
 #include <cstdio>
 #include <vector>
 
+#include "chunk/chunk.h"
 #include "common/cli.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -62,24 +70,72 @@ makeJobStream(int jobs, int retries, uint64_t seed)
     return stream;
 }
 
+/** Prints a per-graph summary of a chunked run (stitch records). */
+void
+printGraphSummary(const farm::RunLog& log)
+{
+    size_t graphs = 0;
+    size_t chunk_jobs = 0;
+    size_t done = 0;
+    double chunk_sum = 0.0;
+    double stitch_sum = 0.0;
+    double dpsnr_sum = 0.0;
+    double dbitrate_sum = 0.0;
+    for (const auto& r : log.records()) {
+        if (r.kind == "chunk") {
+            ++chunk_jobs;
+            continue;
+        }
+        if (r.kind != "stitch") {
+            continue;
+        }
+        ++graphs;
+        chunk_sum += r.chunk_count;
+        if (r.state == farm::JobState::Done) {
+            ++done;
+            stitch_sum += r.actual_seconds;
+            dpsnr_sum += r.delta_psnr_db;
+            dbitrate_sum += r.delta_bitrate_kbps;
+        }
+    }
+    if (graphs == 0) {
+        return;
+    }
+    std::printf("chunked graphs: %zu (%zu chunk jobs, %.1f chunks/graph, "
+                "%zu stitched)\n",
+                graphs, chunk_jobs, chunk_sum / graphs, done);
+    if (done > 0) {
+        std::printf("mean stitch latency: %.3f sim ms; boundary cost: "
+                    "%+.3f dB PSNR, %+.1f kbps vs unchunked\n\n",
+                    stitch_sum / done * 1000.0, dpsnr_sum / done,
+                    dbitrate_sum / done);
+    }
+}
+
 farm::FarmMetrics
 runPolicy(const std::vector<farm::JobRequest>& stream,
           farm::DispatchPolicy policy, farm::QueuePolicy queue_policy,
           const farm::FarmOptions& base, bool print, std::string log_path,
-          std::string trace_path = "")
+          std::string trace_path = "",
+          const chunk::ChunkOptions* chunking = nullptr)
 {
     farm::FarmOptions options = base;
     options.dispatch = policy;
     options.queue_policy = queue_policy;
     farm::Farm service(options);
     for (const auto& req : stream) {
-        service.submit(req);
+        if (chunking != nullptr && chunking->enabled()) {
+            service.submitChunked(req, *chunking);
+        } else {
+            service.submit(req);
+        }
     }
     service.drain();
     if (print) {
         std::printf("%s\n",
                     service.log().metricsTable(service.fleet())
                         .toText().c_str());
+        printGraphSummary(service.log());
     }
     if (!log_path.empty()) {
         // A failed export must not take down the service run — the
@@ -123,11 +179,19 @@ main(int argc, char** argv)
     const auto queue_policy =
         farm::queuePolicyFromName(cli.str("queue", "fifo"));
 
+    chunk::ChunkOptions chunking;
+    if (cli.has("chunked")) {
+        chunking.chunk_frames =
+            static_cast<int>(cli.num("chunk-frames", 3));
+        chunking.max_chunks = static_cast<int>(cli.num("max-chunks", 0));
+    }
+
     const auto stream = makeJobStream(jobs, retries, seed);
     std::printf("Transcoding farm: %d jobs, %.2fs clips, fault rate "
-                "%.0f%%, queue=%s\n\n",
+                "%.0f%%, queue=%s%s\n\n",
                 jobs, base.clip_seconds, base.fault_rate * 100.0,
-                farm::toString(queue_policy).c_str());
+                farm::toString(queue_policy).c_str(),
+                chunking.enabled() ? ", chunked" : "");
 
     // Validate flags before the (multi-second) warm-up, so a typo fails
     // fast; then pre-warm outside any comparison so every policy pays
@@ -142,7 +206,8 @@ main(int argc, char** argv)
         // and Chrome trace of the job lifecycle.
         std::printf("policy: %s\n", farm::toString(policy).c_str());
         runPolicy(stream, policy, queue_policy, base, true,
-                  cli.str("log", ""), cli.str("trace-out", ""));
+                  cli.str("log", ""), cli.str("trace-out", ""),
+                  &chunking);
         if (cli.has("metrics")) {
             std::printf("\n%s", obs::metrics().exposition().c_str());
         }

@@ -6,8 +6,8 @@
 
 namespace vtrans::codec {
 
-std::vector<uint8_t>
-makeSourceStream(const video::VideoSpec& spec)
+EncoderParams
+mezzanineParams()
 {
     // High-quality mezzanine: near-lossless CRF with solid analysis but
     // bounded cost (this runs outside the measured region in benches).
@@ -16,7 +16,13 @@ makeSourceStream(const video::VideoSpec& spec)
     params.crf = 10;
     params.refs = 2;
     params.subme = 4;
+    return params;
+}
 
+std::vector<uint8_t>
+makeSourceStream(const video::VideoSpec& spec)
+{
+    const EncoderParams params = mezzanineParams();
     const auto frames = video::generateVideo(spec);
     Encoder encoder(params, spec.fps);
     return encoder.encode(frames);

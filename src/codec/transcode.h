@@ -34,6 +34,14 @@ struct TranscodeResult
 };
 
 /**
+ * The near-lossless parameter set mezzanine streams are encoded with
+ * (crf 10, bounded analysis cost) — shared by `makeSourceStream` and the
+ * chunk splitter's per-segment slice encodes so chunk inputs match the
+ * whole-clip mezzanine grade.
+ */
+EncoderParams mezzanineParams();
+
+/**
  * Produces a "mezzanine" source stream for a video spec: the synthetic
  * clip encoded at high quality (crf 10, veryslow-ish analysis), standing
  * in for the high-quality uploads streaming providers transcode from.

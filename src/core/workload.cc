@@ -41,7 +41,9 @@ mezzanine(const std::string& video, double seconds)
 RunResult
 runInstrumented(const RunConfig& config)
 {
-    const auto& source = mezzanine(config.video, config.seconds);
+    const auto& source = config.input != nullptr
+                             ? *config.input
+                             : mezzanine(config.video, config.seconds);
 
     // Deterministic data addresses for this run, whatever ran before.
     trace::arena().reset();
@@ -69,17 +71,136 @@ runInstrumented(const RunConfig& config)
     result.transcode_seconds = result.core.seconds();
     result.psnr = transcoded.psnr();
     result.bitrate_kbps = transcoded.bitrateKbps();
+    if (config.keep_output) {
+        result.output = std::move(transcoded.output);
+    }
     return result;
 }
 
 codec::EncodeStats
 runNative(const RunConfig& config)
 {
-    const auto& source = mezzanine(config.video, config.seconds);
+    const auto& source = config.input != nullptr
+                             ? *config.input
+                             : mezzanine(config.video, config.seconds);
     trace::arena().reset();
     codec::TranscodeResult transcoded =
         codec::transcode(source, config.params);
     return transcoded.stats;
+}
+
+RunResult
+runInstrumentedChunk(
+    const std::vector<const std::vector<uint8_t>*>& slices,
+    const RunConfig& config)
+{
+    VT_ASSERT(!slices.empty(), "chunk run with no slices");
+    trace::arena().reset();
+
+    uarch::CoreModel model(config.core);
+    obs::HotspotProfiler profiler;
+    trace::TeeSink tee({&model, &profiler});
+    const bool profiled = obs::hotspotsEnabled();
+    trace::setSink(profiled ? static_cast<trace::ProbeSink*>(&tee)
+                            : &model,
+                   trace::defaultBatchCapacity());
+
+    // Each slice is an independent closed-GOP transcode (its own encoder
+    // state) — the segment-atom contract that makes the stitched stream
+    // independent of how segments are grouped into chunks.
+    std::vector<codec::TranscodeResult> parts;
+    parts.reserve(slices.size());
+    for (const auto* slice : slices) {
+        parts.push_back(codec::transcode(*slice, config.params));
+    }
+    // The in-chunk remux is part of the chunk's work and is itself
+    // instrumented (the bitstream reader/writer trace their traffic).
+    std::vector<const std::vector<uint8_t>*> outputs;
+    outputs.reserve(parts.size());
+    for (const auto& part : parts) {
+        outputs.push_back(&part.output);
+    }
+    std::vector<uint8_t> stitched = chunk::stitch(outputs);
+
+    trace::setSink(nullptr);
+    if (profiled) {
+        obs::hotspotReport().merge(profiler);
+    }
+
+    RunResult result;
+    result.core = model.finish();
+    result.transcode_seconds = result.core.seconds();
+    result.output = std::move(stitched);
+
+    // Aggregate the per-slice encode statistics (frame-weighted means
+    // for the rates, plain sums for the counters).
+    int total_frames = 0;
+    double psnr_weighted = 0.0;
+    int display_offset = 0;
+    codec::EncodeStats& agg = result.encode;
+    for (const auto& part : parts) {
+        const codec::EncodeStats& e = part.stats;
+        agg.total_bits += e.total_bits;
+        agg.i_frames += e.i_frames;
+        agg.p_frames += e.p_frames;
+        agg.b_frames += e.b_frames;
+        agg.mb_skip += e.mb_skip;
+        agg.mb_inter16 += e.mb_inter16;
+        agg.mb_inter8x8 += e.mb_inter8x8;
+        agg.mb_intra16 += e.mb_intra16;
+        agg.mb_intra4 += e.mb_intra4;
+        agg.me_candidates += e.me_candidates;
+        agg.vbv_violations += e.vbv_violations;
+        for (codec::FrameStat f : e.frames) {
+            f.display_index += display_offset;
+            agg.frames.push_back(f);
+        }
+        psnr_weighted += e.psnr * part.frame_count;
+        total_frames += part.frame_count;
+        display_offset += part.frame_count;
+    }
+    const int fps = parts.front().fps;
+    if (total_frames > 0) {
+        agg.psnr = psnr_weighted / total_frames;
+        agg.bitrate_kbps = static_cast<double>(agg.total_bits) / 1000.0
+                           / (static_cast<double>(total_frames) / fps);
+    }
+    result.psnr = agg.psnr;
+    result.bitrate_kbps = agg.bitrate_kbps;
+    return result;
+}
+
+std::shared_ptr<const chunk::SplitPlan>
+cachedSplit(const std::string& video, double seconds,
+            const codec::EncoderParams& target,
+            const chunk::ChunkOptions& opts)
+{
+    // Keyed by everything the boundary plan depends on: the clip and the
+    // planning parameters (effective keyint, scenecut, B placement). The
+    // slice encodes use the fixed mezzanine grade, so nothing else in
+    // `target` can change the split.
+    const int centi = static_cast<int>(seconds * 100.0 + 0.5);
+    const int eff_keyint =
+        opts.chunk_frames > 0 ? opts.chunk_frames : target.keyint;
+    std::string key = video + "/" + std::to_string(centi) + "/k"
+                      + std::to_string(eff_keyint) + "/s"
+                      + std::to_string(target.scenecut) + "/b"
+                      + std::to_string(target.bframes) + "/a"
+                      + std::to_string(target.b_adapt);
+
+    static std::mutex mu;
+    static std::map<std::string, std::shared_ptr<const chunk::SplitPlan>>
+        cache;
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache.find(key);
+    if (it != cache.end()) {
+        return it->second;
+    }
+    const auto& source = mezzanine(video, seconds);
+    auto plan = std::make_shared<chunk::SplitPlan>(
+        chunk::split(source, target, opts));
+    cache.emplace(key, plan);
+    return plan;
 }
 
 } // namespace vtrans::core

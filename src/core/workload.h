@@ -11,9 +11,11 @@
  */
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "chunk/chunk.h"
 #include "codec/encoder.h"
 #include "codec/params.h"
 #include "uarch/core.h"
@@ -27,6 +29,15 @@ struct RunConfig
     double seconds = 0.0;        ///< Clip length; 0 = full 5 s clip.
     codec::EncoderParams params; ///< Transcode parameters under study.
     uarch::CoreParams core;      ///< Simulated machine.
+
+    /** Input stream override (not owned; must outlive the run). When
+     *  set, `video`/`seconds` are bookkeeping only. nullptr = use the
+     *  cached mezzanine of `video`. */
+    const std::vector<uint8_t>* input = nullptr;
+
+    /** Keep the transcoded bitstream in RunResult::output (chunk jobs
+     *  always keep theirs — the stitcher needs the bytes). */
+    bool keep_output = false;
 };
 
 /** Everything measured from one run. */
@@ -37,6 +48,7 @@ struct RunResult
     double transcode_seconds = 0.0; ///< Simulated wall time of the run.
     double psnr = 0.0;           ///< Transcoded quality (dB).
     double bitrate_kbps = 0.0;   ///< Transcoded size rate.
+    std::vector<uint8_t> output; ///< Bitstream (only if keep_output).
 };
 
 /**
@@ -60,6 +72,29 @@ RunResult runInstrumented(const RunConfig& config);
  * encode statistics — used where microarchitectural data is not needed.
  */
 codec::EncodeStats runNative(const RunConfig& config);
+
+/**
+ * Runs one *chunk job* under the core model: transcodes every slice as
+ * an independent closed-GOP encode, then remuxes the slice outputs into
+ * the chunk's bitstream — all within a single instrumented session, so
+ * `transcode_seconds` covers the chunk's full service time. The result's
+ * `output` always holds the chunk bitstream; `encode`/`psnr`/`bitrate`
+ * aggregate over the slices (frame-weighted).
+ */
+RunResult runInstrumentedChunk(
+    const std::vector<const std::vector<uint8_t>*>& slices,
+    const RunConfig& config);
+
+/**
+ * Returns the (process-cached) split of a video's mezzanine at a clip
+ * length under the given target parameters and chunk options. Splitting
+ * decodes and re-encodes the clip once per distinct boundary plan, so
+ * every submitter of the same chunked task shares one plan. Thread-safe;
+ * the returned plan is immutable for the process lifetime.
+ */
+std::shared_ptr<const chunk::SplitPlan> cachedSplit(
+    const std::string& video, double seconds,
+    const codec::EncoderParams& target, const chunk::ChunkOptions& opts);
 
 } // namespace vtrans::core
 

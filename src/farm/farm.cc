@@ -5,10 +5,12 @@
 #include <limits>
 #include <thread>
 
+#include "codec/decoder.h"
 #include "codec/params.h"
 #include "common/status.h"
 #include "core/workload.h"
 #include "obs/metrics.h"
+#include "video/quality.h"
 
 namespace vtrans::farm {
 
@@ -22,7 +24,20 @@ struct Farm::Attempt
     double planned_start = 0; ///< Event clock (predicted time base).
     double predicted = 0;     ///< Predicted seconds on this server.
     bool failed = false;      ///< Fault-injector verdict.
+    bool fixed = false;       ///< Known service time (stitch job).
 };
+
+namespace {
+
+/** The chunk-free task signature (Job::key() of a plain job). */
+std::string
+taskKey(const sched::Task& task)
+{
+    return task.video + "/" + task.preset + "/c" + std::to_string(task.crf)
+           + "/r" + std::to_string(task.refs);
+}
+
+} // namespace
 
 double
 backoffAfter(const FarmOptions& options, int attempt_number)
@@ -107,6 +122,76 @@ Farm::submit(const JobRequest& request)
     return job.id;
 }
 
+uint64_t
+Farm::submitChunked(const JobRequest& request,
+                    const chunk::ChunkOptions& chunking)
+{
+    if (!chunking.enabled()) {
+        return submit(request);
+    }
+    // The split encodes segments with the codec, so probe code sites must
+    // be pinned before it runs (see warmupProcess).
+    warmupProcess();
+    auto plan = core::cachedSplit(request.task.video, options_.clip_seconds,
+                                  request.task.params(), chunking);
+    const auto groups =
+        chunk::groupSegments(plan->segments.size(), chunking.max_chunks);
+    const int gop = chunking.chunk_frames > 0 ? chunking.chunk_frames
+                                              : request.task.params().keyint;
+    const double stitch_seconds = chunk::stitchSeconds(
+        core::mezzanine(request.task.video, options_.clip_seconds).size());
+
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    VT_ASSERT(!drained_, "cannot submit to a drained farm");
+    const uint64_t stitch_id = next_id_ + groups.size();
+    GraphInfo graph;
+    graph.task = request.task;
+    graph.plan = plan;
+    for (size_t g = 0; g < groups.size(); ++g) {
+        Job job;
+        job.id = next_id_++;
+        job.task = request.task;
+        job.submit_time = request.submit_time;
+        job.deadline = request.deadline;
+        job.priority = request.priority;
+        job.retry_budget = request.retry_budget;
+        job.ready_time = request.submit_time;
+        job.parent_id = stitch_id;
+        job.chunk_index = static_cast<int>(g);
+        const int first_segment = groups[g].first;
+        const int segment_count = groups[g].second;
+        job.chunk_first = plan->segments[first_segment].first_frame;
+        int frames = 0;
+        for (int i = 0; i < segment_count; ++i) {
+            frames += plan->segments[first_segment + i].frame_count;
+        }
+        job.chunk_frames = frames;
+        job.chunk_gop = gop;
+        chunk_work_.emplace(job.key(),
+                            ChunkWork{plan, first_segment, segment_count});
+        graph.chunk_ids.push_back(job.id);
+        intake_.push_back(job);
+    }
+
+    Job stitch;
+    stitch.id = next_id_++;
+    VT_ASSERT(stitch.id == stitch_id, "stitch id drifted");
+    stitch.task = request.task;
+    stitch.submit_time = request.submit_time;
+    stitch.deadline = request.deadline;
+    stitch.priority = request.priority;
+    stitch.retry_budget = request.retry_budget;
+    stitch.ready_time = request.submit_time;
+    stitch.blocked_by = graph.chunk_ids;
+    stitch.chunk_count = static_cast<int>(groups.size());
+    stitch.chunk_frames = plan->total_frames;
+    stitch.chunk_gop = gop;
+    stitch.fixed_seconds = stitch_seconds;
+    graphs_.emplace(stitch_id, std::move(graph));
+    intake_.push_back(stitch);
+    return stitch_id;
+}
+
 size_t
 Farm::submitted() const
 {
@@ -117,8 +202,13 @@ Farm::submitted() const
 void
 Farm::characterize(const std::vector<Job>& jobs)
 {
-    // Unique task signatures (first job seen defines the task).
+    // Unique task signatures (first job seen defines the task). Stitch
+    // jobs carry a fixed, known service time and run no transcode, so
+    // they need neither characterization nor a predictor profile.
     for (const Job& job : jobs) {
+        if (job.fixed_seconds > 0.0) {
+            continue;
+        }
         key_tasks_.emplace(job.key(), job.task);
     }
 
@@ -157,12 +247,7 @@ Farm::characterize(const std::vector<Job>& jobs)
     const uarch::CoreParams baseline = uarch::baselineConfig();
     for (auto& run : baseline_runs) {
         tasks.push_back([&run, &baseline, this] {
-            core::RunConfig cfg;
-            cfg.video = run.task.video;
-            cfg.seconds = options_.clip_seconds;
-            cfg.params = run.task.params();
-            cfg.core = baseline;
-            run.result = core::runInstrumented(cfg);
+            run.result = runTask(run.key, run.task, baseline);
         });
     }
     for (size_t c = 0; c < cal_names.size(); ++c) {
@@ -205,6 +290,32 @@ Farm::characterize(const std::vector<Job>& jobs)
     }
 }
 
+core::RunResult
+Farm::runTask(const std::string& key, const sched::Task& task,
+              const uarch::CoreParams& server_core)
+{
+    core::RunConfig cfg;
+    cfg.video = task.video;
+    cfg.seconds = options_.clip_seconds;
+    cfg.params = task.params();
+    cfg.core = server_core;
+    const auto it = chunk_work_.find(key);
+    if (it == chunk_work_.end()) {
+        return core::runInstrumented(cfg);
+    }
+    // A chunk job encodes its slice of the split plan — each segment an
+    // independent closed-GOP unit — instead of the whole clip.
+    const ChunkWork& work = it->second;
+    std::vector<const std::vector<uint8_t>*> slices;
+    slices.reserve(work.segment_count);
+    for (int i = 0; i < work.segment_count; ++i) {
+        slices.push_back(
+            &work.plan->segments[work.first_segment + i].source);
+    }
+    cfg.keep_output = true; // The stitch job consumes the bitstream.
+    return core::runInstrumentedChunk(slices, cfg);
+}
+
 std::vector<Farm::Attempt>
 Farm::plan(std::vector<Job> jobs)
 {
@@ -216,12 +327,58 @@ Farm::plan(std::vector<Job> jobs)
     size_t next_arrival = 0;
     std::vector<Attempt> attempts;
 
+    // Final-outcome events on the event clock, feeding the queue's
+    // dependency bookkeeping: a job's last attempt completing (markDone)
+    // or exhausting its budget (markFailed) can unblock — or kill — a
+    // dependent stitch job.
+    struct Completion
+    {
+        double time = 0.0;
+        uint64_t job_id = 0;
+        bool success = false;
+    };
+    std::vector<Completion> completions;
+
+    // Collects jobs whose dependency failed: they can never dispatch, so
+    // they leave the queue as a dead graph (and count as failures of
+    // their own, in case anything depends on them transitively).
+    auto reap = [&] {
+        while (true) {
+            auto dead = queue.takeDead();
+            if (dead.empty()) {
+                return;
+            }
+            for (const Job& job : dead) {
+                dep_failed_.insert(job.id);
+                queue.markFailed(job.id);
+            }
+        }
+    };
+
     const bool matching =
         options_.dispatch == DispatchPolicy::Smart
         || options_.dispatch == DispatchPolicy::SmartDeadline;
 
     double t = jobs.empty() ? 0.0 : jobs.front().submit_time;
     while (true) {
+        // Deliver final outcomes that have come due on the event clock
+        // so dependent jobs become eligible (or dead) before dispatch.
+        std::sort(completions.begin(), completions.end(),
+                  [](const Completion& a, const Completion& b) {
+                      return a.time != b.time ? a.time < b.time
+                                              : a.job_id < b.job_id;
+                  });
+        while (!completions.empty() && completions.front().time <= t) {
+            const Completion c = completions.front();
+            completions.erase(completions.begin());
+            if (c.success) {
+                queue.markDone(c.job_id);
+            } else {
+                queue.markFailed(c.job_id);
+            }
+        }
+        reap();
+
         // Re-queue retries whose backoff has expired (before admitting
         // new arrivals, so a waiting retry is not starved of queue space).
         std::sort(retries.begin(), retries.end(),
@@ -235,14 +392,18 @@ Farm::plan(std::vector<Job> jobs)
             retries.erase(retries.begin());
         }
 
-        // Admission control: arrivals into a full backlog are shed.
+        // Admission control: arrivals into a full backlog are shed. A
+        // shed job counts as failed for dependency purposes — a graph
+        // missing a chunk can never stitch.
         while (next_arrival < jobs.size()
                && jobs[next_arrival].submit_time <= t) {
             if (!queue.tryPush(jobs[next_arrival])) {
                 shed_ids_.insert(jobs[next_arrival].id);
+                queue.markFailed(jobs[next_arrival].id);
             }
             ++next_arrival;
         }
+        reap();
 
         // Dispatch onto every idle server the policy finds work for.
         std::vector<int> idle;
@@ -265,11 +426,21 @@ Farm::plan(std::vector<Job> jobs)
                 }
                 double best_score = -1.0;
                 for (const Job& candidate : window) {
-                    const int s = pickServerForJob(
-                        options_.dispatch, candidate, predictor_, fleet_,
-                        idle, t, rng, rr_cursor);
-                    const double score =
-                        predictor_.fit(candidate.key(), fleet_[s].config);
+                    // A fixed-time job (stitch) gains nothing from server
+                    // matching: any idle server remuxes at the same
+                    // speed, so it takes the first one at a neutral
+                    // score and yields the window to real transcodes.
+                    int s = 0;
+                    double score = 0.0;
+                    if (candidate.fixed_seconds > 0.0) {
+                        s = idle.front();
+                    } else {
+                        s = pickServerForJob(options_.dispatch, candidate,
+                                             predictor_, fleet_, idle, t,
+                                             rng, rr_cursor);
+                        score = predictor_.fit(candidate.key(),
+                                               fleet_[s].config);
+                    }
                     if (score > best_score) {
                         best_score = score;
                         job = candidate;
@@ -283,16 +454,20 @@ Farm::plan(std::vector<Job> jobs)
                     break;
                 }
                 job = *popped;
-                server = pickServerForJob(options_.dispatch, job,
-                                          predictor_, fleet_, idle, t, rng,
-                                          rr_cursor);
+                server = job.fixed_seconds > 0.0
+                             ? idle.front()
+                             : pickServerForJob(options_.dispatch, job,
+                                                predictor_, fleet_, idle,
+                                                t, rng, rr_cursor);
             }
 
+            const bool fixed = job.fixed_seconds > 0.0;
             const double predicted =
-                predictor_.predict(job.key(), fleet_[server].config);
+                fixed ? job.fixed_seconds
+                      : predictor_.predict(job.key(), fleet_[server].config);
             const bool fails = injector_.fails(job.id, job.attempts);
             attempts.push_back({job.id, job.key(), server, job.attempts, t,
-                                predicted, fails});
+                                predicted, fails, fixed});
             busy[server] = t + predicted;
             idle.erase(std::find(idle.begin(), idle.end(), server));
 
@@ -301,6 +476,9 @@ Farm::plan(std::vector<Job> jobs)
                 job.ready_time =
                     t + predicted + backoffAfter(options_, number);
                 retries.push_back(job);
+            } else {
+                // Final outcome: queue the dependency event.
+                completions.push_back({t + predicted, job.id, !fails});
             }
         }
 
@@ -336,9 +514,29 @@ void
 Farm::execute(const std::vector<Attempt>& attempts)
 {
     // Unique (task, config) pairs still to run; retries and replicas of
-    // the same config reuse one deterministic result.
+    // the same config reuse one deterministic result. Fixed-time stitch
+    // attempts run no transcode — but each graph needs the *unchunked*
+    // whole-video encode of its task as the quality reference the run
+    // log reports boundary cost against.
     std::vector<std::pair<std::string, std::string>> pending;
+    std::vector<std::pair<std::string, sched::Task>> ref_pending;
     for (const Attempt& a : attempts) {
+        if (a.fixed) {
+            const auto g = graphs_.find(a.job_id);
+            if (g == graphs_.end()) {
+                continue;
+            }
+            const std::string base = taskKey(g->second.task);
+            if (unchunked_refs_.count(base) == 0
+                && std::find_if(ref_pending.begin(), ref_pending.end(),
+                                [&](const auto& p) {
+                                    return p.first == base;
+                                })
+                       == ref_pending.end()) {
+                ref_pending.push_back({base, g->second.task});
+            }
+            continue;
+        }
         const auto key = std::make_pair(a.key, fleet_[a.server].config);
         if (results_.count(key) == 0
             && std::find(pending.begin(), pending.end(), key)
@@ -357,15 +555,27 @@ Farm::execute(const std::vector<Attempt>& attempts)
     std::vector<std::function<void()>> tasks;
     for (const auto& key : pending) {
         tasks.push_back([this, key] {
-            const sched::Task& task = key_tasks_.at(key.first);
-            core::RunConfig cfg;
-            cfg.video = task.video;
-            cfg.seconds = options_.clip_seconds;
-            cfg.params = task.params();
-            cfg.core = uarch::configByName(key.second);
-            core::RunResult result = core::runInstrumented(cfg);
+            core::RunResult result =
+                runTask(key.first, key_tasks_.at(key.first),
+                        uarch::configByName(key.second));
             std::lock_guard<std::mutex> lock(results_mu_);
             results_.emplace(key, std::move(result));
+        });
+    }
+    for (const auto& ref : ref_pending) {
+        tasks.push_back([this, ref] {
+            // Native (uninstrumented) run: only the encode outcome
+            // matters for the quality deltas, and the encode is a pure
+            // function of input + params — identical on every config.
+            core::RunConfig cfg;
+            cfg.video = ref.second.video;
+            cfg.seconds = options_.clip_seconds;
+            cfg.params = ref.second.params();
+            const codec::EncodeStats stats = core::runNative(cfg);
+            std::lock_guard<std::mutex> lock(results_mu_);
+            unchunked_refs_.emplace(ref.first,
+                                    UnchunkedRef{stats.psnr,
+                                                 stats.bitrate_kbps});
         });
     }
     if (options_.verbose) {
@@ -403,6 +613,11 @@ Farm::account(const std::vector<Job>& jobs,
         rec.crf = job.task.crf;
         rec.refs = job.task.refs;
         rec.priority = job.priority;
+        rec.parent_id = job.parent_id;
+        rec.chunk_index = std::max(job.chunk_index, 0);
+        rec.chunk_count = job.chunk_count;
+        rec.kind = job.isStitch() ? "stitch"
+                                  : (job.isChunk() ? "chunk" : "transcode");
         rec.submit = job.submit_time;
         rec.deadline = job.deadline;
         rec.state = shed_ids_.count(job.id) ? JobState::Shed
@@ -424,16 +639,67 @@ Farm::account(const std::vector<Job>& jobs,
 
     std::vector<double> server_free(fleet_.size(), 0.0);
     std::map<uint64_t, double> ready;
+    std::map<uint64_t, const Job*> by_id;
+    for (const Job& job : jobs) {
+        by_id.emplace(job.id, &job);
+    }
+    std::map<uint64_t, double> finish_of;       ///< Last attempt finish.
+    std::map<uint64_t, std::string> done_config; ///< Config of Done run.
+    std::map<std::string, codec::DecodeResult> mezz_decoded;
+    auto mezzFrames = [&](const std::string& video)
+        -> const std::vector<video::Frame>& {
+        auto it = mezz_decoded.find(video);
+        if (it == mezz_decoded.end()) {
+            it = mezz_decoded
+                     .emplace(video, codec::decode(core::mezzanine(
+                                         video, options_.clip_seconds)))
+                     .first;
+        }
+        return it->second.frames;
+    };
+
     for (const Attempt& a : attempts) {
         JobRecord& rec = records.at(a.job_id);
-        const auto& result =
-            results_.at(std::make_pair(a.key, fleet_[a.server].config));
-        const double actual = result.transcode_seconds;
+        const Job& job = *by_id.at(a.job_id);
+
+        double actual = 0.0;
+        double dep_ready = 0.0;
+        const core::RunResult* result = nullptr;
+        std::vector<uint8_t> stitched;
+        if (a.fixed) {
+            // The stitch job's real work: remux the chunk bitstreams —
+            // in chunk order — into the final stream. Every dependency
+            // is Done here (the planner never dispatches a blocked job
+            // early), and whichever server config ran a chunk produced
+            // the same bytes, so the result cache under the config of
+            // the chunk's final successful attempt is authoritative.
+            std::vector<const std::vector<uint8_t>*> outputs;
+            for (uint64_t dep : job.blocked_by) {
+                const Job& chunk_job = *by_id.at(dep);
+                outputs.push_back(&results_
+                                       .at(std::make_pair(
+                                           chunk_job.key(),
+                                           done_config.at(dep)))
+                                       .output);
+                dep_ready = std::max(dep_ready, finish_of.at(dep));
+            }
+            stitched = chunk::stitch(outputs);
+            actual = chunk::stitchSeconds(stitched.size());
+        } else {
+            result = &results_.at(
+                std::make_pair(a.key, fleet_[a.server].config));
+            actual = result->transcode_seconds;
+        }
         const double r = ready.count(a.job_id) ? ready.at(a.job_id)
                                                : rec.submit;
-        const double start = std::max(r, server_free[a.server]);
+        const double start =
+            std::max({r, server_free[a.server], dep_ready});
         const double finish = start + actual;
         server_free[a.server] = finish;
+        finish_of[a.job_id] = finish;
+        if (!a.failed) {
+            done_config[a.job_id] = fleet_[a.server].config;
+        }
 
         if (a.number == 0) {
             rec.start = start;
@@ -463,14 +729,34 @@ Farm::account(const std::vector<Job>& jobs,
         rec.predicted_seconds = a.predicted;
         rec.actual_seconds = actual;
         rec.finish = finish;
-        rec.psnr = result.psnr;
-        rec.bitrate_kbps = result.bitrate_kbps;
-        rec.topdown = result.core.topdown();
-        rec.result_fingerprint = fingerprint(result);
+        if (a.fixed) {
+            // Real measured quality of the stitched stream, against the
+            // same reference the unchunked path uses (the decoded
+            // mezzanine), so the deltas below are exact boundary cost.
+            const GraphInfo& g = graphs_.at(a.job_id);
+            rec.psnr = video::sequencePsnr(codec::decode(stitched).frames,
+                                           mezzFrames(g.task.video));
+            const double duration =
+                static_cast<double>(g.plan->total_frames) / g.plan->fps;
+            rec.bitrate_kbps = static_cast<double>(stitched.size()) * 8.0
+                               / 1000.0 / duration;
+            rec.result_fingerprint = chunk::streamFingerprint(stitched);
+            const auto ref = unchunked_refs_.find(taskKey(g.task));
+            if (ref != unchunked_refs_.end()) {
+                rec.delta_psnr_db = rec.psnr - ref->second.psnr;
+                rec.delta_bitrate_kbps =
+                    rec.bitrate_kbps - ref->second.bitrate_kbps;
+            }
+        } else {
+            rec.psnr = result->psnr;
+            rec.bitrate_kbps = result->bitrate_kbps;
+            rec.topdown = result->core.topdown();
+            rec.result_fingerprint = fingerprint(*result);
+        }
 
         obs::Span attempt;
         attempt.category = "farm";
-        attempt.name = "attempt";
+        attempt.name = a.fixed ? "stitch" : "attempt";
         attempt.tid = 1 + a.server;
         attempt.ts_us = start * kUsPerSimSecond;
         attempt.dur_us = actual * kUsPerSimSecond;
@@ -478,6 +764,16 @@ Farm::account(const std::vector<Job>& jobs,
                         {"attempt", std::to_string(a.number)},
                         {"task", a.key},
                         {"outcome", a.failed ? "fault" : "ok"}};
+        if (job.isChunk()) {
+            attempt.args.emplace_back("parent",
+                                      std::to_string(job.parent_id));
+            attempt.args.emplace_back("chunk",
+                                      std::to_string(job.chunk_index));
+        }
+        if (a.fixed) {
+            attempt.args.emplace_back("chunks",
+                                      std::to_string(job.chunk_count));
+        }
         tracer_.recordComplete(std::move(attempt));
 
         if (a.failed) {
@@ -509,6 +805,35 @@ Farm::account(const std::vector<Job>& jobs,
         } else {
             rec.state = JobState::Done;
         }
+    }
+
+    // Jobs killed by a failed dependency never dispatched: record the
+    // graph failure at the moment the last dependency resolved.
+    for (const Job& job : jobs) {
+        if (dep_failed_.count(job.id) == 0) {
+            continue;
+        }
+        JobRecord& rec = records.at(job.id);
+        if (rec.state == JobState::Shed) {
+            continue; // Shed at admission: already accounted.
+        }
+        rec.state = JobState::Failed;
+        double fin = rec.submit;
+        for (uint64_t dep : job.blocked_by) {
+            const auto it = finish_of.find(dep);
+            if (it != finish_of.end()) {
+                fin = std::max(fin, it->second);
+            }
+        }
+        rec.finish = fin;
+        obs::Span dead;
+        dead.kind = obs::Span::Kind::Instant;
+        dead.category = "farm";
+        dead.name = "dep-failed";
+        dead.tid = 0;
+        dead.ts_us = fin * kUsPerSimSecond;
+        dead.args = {{"job", std::to_string(job.id)}};
+        tracer_.recordEvent(std::move(dead));
     }
 
     for (const Job& job : jobs) {
@@ -580,12 +905,46 @@ Farm::recordMetrics() const
     auto& wait = reg.histogram(
         "farm_job_queue_wait_sim_seconds",
         "Submit-to-first-dispatch wait of serviced jobs (simulated seconds)");
+    size_t chunk_jobs = 0;
+    size_t graphs = 0;
     for (const JobRecord& r : log_.records()) {
         if (r.state == JobState::Done) {
             latency.observe(r.latency());
         }
         if (r.state == JobState::Done || r.state == JobState::Failed) {
             wait.observe(r.queue_wait);
+        }
+        chunk_jobs += r.kind == "chunk" ? 1 : 0;
+        graphs += r.kind == "stitch" ? 1 : 0;
+    }
+    if (chunk_jobs == 0 && graphs == 0) {
+        return; // Plain farm: don't register empty chunk metrics.
+    }
+    reg.counter("chunk_jobs_total", "Chunk encode jobs of split transcodes")
+        .inc(chunk_jobs);
+    reg.counter("chunk_graphs_total",
+                "Chunked transcode graphs (stitch jobs) submitted")
+        .inc(graphs);
+    auto& per_graph = reg.histogram("chunk_chunks_per_graph",
+                                    "Chunk jobs per transcode graph");
+    auto& stitch_latency = reg.histogram(
+        "chunk_stitch_latency_sim_seconds",
+        "Service time of stitch jobs (simulated seconds)");
+    auto& delta_psnr = reg.histogram(
+        "chunk_boundary_delta_psnr_db",
+        "Stitched minus unchunked PSNR (chunk-boundary quality cost)");
+    auto& delta_bitrate = reg.histogram(
+        "chunk_boundary_delta_bitrate_kbps",
+        "Stitched minus unchunked bitrate (chunk-boundary size cost)");
+    for (const JobRecord& r : log_.records()) {
+        if (r.kind != "stitch") {
+            continue;
+        }
+        per_graph.observe(r.chunk_count);
+        if (r.state == JobState::Done) {
+            stitch_latency.observe(r.actual_seconds);
+            delta_psnr.observe(r.delta_psnr_db);
+            delta_bitrate.observe(r.delta_bitrate_kbps);
         }
     }
 }

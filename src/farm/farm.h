@@ -40,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "chunk/chunk.h"
 #include "farm/dispatch.h"
 #include "farm/job.h"
 #include "farm/queue.h"
@@ -113,6 +114,22 @@ class Farm
      */
     uint64_t submit(const JobRequest& request);
 
+    /**
+     * Submits a request as a *job graph*: the source is split at
+     * lookahead GOP/scenecut boundaries (see chunk/chunk.h), each chunk
+     * becomes an independent encode job, and one dependent stitch job —
+     * blocked on every chunk — remuxes the per-chunk bitstreams into the
+     * final stream. Returns the stitch job's id (the graph's root); the
+     * chunk jobs occupy the ids immediately below it. If chunking is
+     * disabled (`!chunking.enabled()`), falls back to a plain `submit`.
+     *
+     * A failed chunk fails (or, within `retry_budget`, retries) the whole
+     * graph: the stitch job is only dispatched once every chunk is Done,
+     * and is recorded Failed if any chunk exhausts its budget.
+     */
+    uint64_t submitChunked(const JobRequest& request,
+                           const chunk::ChunkOptions& chunking);
+
     /** Jobs submitted so far. */
     size_t submitted() const;
 
@@ -177,12 +194,40 @@ class Farm
   private:
     struct Attempt; // Planning/execution record (internal).
 
+    /** The slice of a split plan one chunk job encodes. */
+    struct ChunkWork
+    {
+        std::shared_ptr<const chunk::SplitPlan> plan;
+        int first_segment = 0;
+        int segment_count = 0;
+    };
+
+    /** One chunked submission (keyed by its stitch job id). */
+    struct GraphInfo
+    {
+        sched::Task task;
+        std::shared_ptr<const chunk::SplitPlan> plan;
+        std::vector<uint64_t> chunk_ids;
+    };
+
+    /** The whole-video (unchunked) quality reference of a graph's task. */
+    struct UnchunkedRef
+    {
+        double psnr = 0.0;
+        double bitrate_kbps = 0.0;
+    };
+
     void characterize(const std::vector<Job>& jobs);
     std::vector<Attempt> plan(std::vector<Job> jobs);
     void execute(const std::vector<Attempt>& attempts);
     void account(const std::vector<Job>& jobs,
                  const std::vector<Attempt>& attempts);
     void recordMetrics() const;
+
+    /** Runs the instrumented work behind a task signature on `core`:
+     *  chunk keys encode their plan slice, plain keys the whole clip. */
+    core::RunResult runTask(const std::string& key, const sched::Task& task,
+                            const uarch::CoreParams& core);
 
     FarmOptions options_;
     std::vector<Server> fleet_;
@@ -199,6 +244,12 @@ class Farm
 
     std::map<std::string, sched::Task> key_tasks_; ///< Signature -> task.
     std::set<uint64_t> shed_ids_;                  ///< Rejected at admission.
+
+    // Job-graph state (chunked submissions).
+    std::map<std::string, ChunkWork> chunk_work_;  ///< Chunk key -> slice.
+    std::map<uint64_t, GraphInfo> graphs_;         ///< Stitch id -> graph.
+    std::set<uint64_t> dep_failed_;   ///< Jobs killed by a failed dep.
+    std::map<std::string, UnchunkedRef> unchunked_refs_; ///< Task key -> ref.
 
     // Execution-phase result cache: (task key, config name) -> result.
     std::map<std::pair<std::string, std::string>, core::RunResult> results_;

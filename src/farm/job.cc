@@ -23,8 +23,20 @@ toString(JobState state)
 std::string
 Job::key() const
 {
-    return task.video + "/" + task.preset + "/c" + std::to_string(task.crf)
-           + "/r" + std::to_string(task.refs);
+    std::string key = task.video + "/" + task.preset + "/c"
+                      + std::to_string(task.crf) + "/r"
+                      + std::to_string(task.refs);
+    if (isChunk()) {
+        key += "/g" + std::to_string(chunk_gop) + "/k"
+               + std::to_string(chunk_index) + "@"
+               + std::to_string(chunk_first) + "+"
+               + std::to_string(chunk_frames);
+    }
+    if (isStitch()) {
+        key += "/g" + std::to_string(chunk_gop) + "/stitch"
+               + std::to_string(chunk_count);
+    }
+    return key;
 }
 
 } // namespace vtrans::farm

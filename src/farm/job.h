@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "sched/scheduler.h"
@@ -43,11 +44,35 @@ struct Job
     int priority = 0;         ///< Higher runs sooner under Priority policy.
     int retry_budget = 0;     ///< Re-dispatches allowed after a failure.
 
+    // Job-graph edges (chunked transcodes; empty/zero for plain jobs).
+    uint64_t parent_id = 0;   ///< Stitch job this chunk feeds; 0 = none.
+    int chunk_index = -1;     ///< Position among sibling chunks; -1 = none.
+    int chunk_first = 0;      ///< First source frame covered by the chunk.
+    int chunk_frames = 0;     ///< Source frames covered by the chunk.
+    int chunk_gop = 0;        ///< Boundary spacing the graph was split at.
+    int chunk_count = 0;      ///< On a stitch job: number of chunk deps.
+    std::vector<uint64_t> blocked_by; ///< Must be Done before dispatch.
+
+    /** >0: known deterministic service time (stitch jobs), bypassing the
+     *  characterization-driven predictor. */
+    double fixed_seconds = 0.0;
+
     // Scheduling bookkeeping (maintained by the farm, not the submitter).
     double ready_time = 0.0;  ///< Eligible for dispatch (submit or retry).
     int attempts = 0;         ///< Dispatches so far.
 
-    /** Unique task signature: same key -> identical transcode work. */
+    /** True for a chunk of a split transcode (has a stitch parent). */
+    bool isChunk() const { return parent_id != 0; }
+    /** True for a stitch job (waits on chunk dependencies). */
+    bool isStitch() const { return !blocked_by.empty(); }
+
+    /**
+     * Unique task signature: same key -> identical transcode work. Chunk
+     * jobs fold their graph geometry (index, frame span, boundary
+     * spacing) into the key, so two chunks of the same task — or the
+     * same span split at different spacings — never alias in the result
+     * cache or the characterization profiles.
+     */
     std::string key() const;
 };
 

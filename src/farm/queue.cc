@@ -80,12 +80,37 @@ JobQueue::before(const Job& a, const Job& b) const
     return a.id < b.id;
 }
 
+bool
+JobQueue::deadlocked(const Job& job) const
+{
+    for (uint64_t dep : job.blocked_by) {
+        if (failed_.count(dep) != 0) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+JobQueue::eligible(const Job& job, double now) const
+{
+    if (job.ready_time > now) {
+        return false;
+    }
+    for (uint64_t dep : job.blocked_by) {
+        if (done_.count(dep) == 0) {
+            return false; // Unfinished or failed dependency: held.
+        }
+    }
+    return true;
+}
+
 int
 JobQueue::bestIndex(double now) const
 {
     int best = -1;
     for (size_t i = 0; i < jobs_.size(); ++i) {
-        if (jobs_[i].ready_time > now) {
+        if (!eligible(jobs_[i], now)) {
             continue;
         }
         if (best < 0 || before(jobs_[i], jobs_[best])) {
@@ -145,11 +170,15 @@ std::optional<Job>
 JobQueue::waitPop()
 {
     std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [&] { return closed_ || !jobs_.empty(); });
-    const int best =
-        bestIndex(std::numeric_limits<double>::infinity());
+    // Wake on closure or on an *eligible* job: a queue holding only
+    // dependency-blocked jobs keeps consumers parked until markDone.
+    int best = -1;
+    not_empty_.wait(lock, [&] {
+        best = bestIndex(std::numeric_limits<double>::infinity());
+        return closed_ || best >= 0;
+    });
     if (best < 0) {
-        return std::nullopt; // Closed and drained.
+        return std::nullopt; // Closed and drained (or only held jobs).
     }
     Job job = std::move(jobs_[best]);
     jobs_.erase(jobs_.begin() + best);
@@ -164,22 +193,21 @@ JobQueue::peekWindow(double now, size_t limit) const
     // Select the first `limit` jobs in policy order without copying (or
     // fully sorting) every eligible job: this runs on the dispatch hot
     // path once per planner tick, against a potentially deep backlog.
-    std::vector<const Job*> eligible;
+    std::vector<const Job*> ready;
     for (const Job& job : jobs_) {
-        if (job.ready_time <= now) {
-            eligible.push_back(&job);
+        if (eligible(job, now)) {
+            ready.push_back(&job);
         }
     }
-    const size_t take = std::min(limit, eligible.size());
-    std::partial_sort(eligible.begin(), eligible.begin() + take,
-                      eligible.end(),
+    const size_t take = std::min(limit, ready.size());
+    std::partial_sort(ready.begin(), ready.begin() + take, ready.end(),
                       [this](const Job* a, const Job* b) {
                           return before(*a, *b);
                       });
     std::vector<Job> window;
     window.reserve(take);
     for (size_t i = 0; i < take; ++i) {
-        window.push_back(*eligible[i]);
+        window.push_back(*ready[i]);
     }
     return window;
 }
@@ -196,6 +224,41 @@ JobQueue::remove(uint64_t id)
         }
     }
     return false;
+}
+
+void
+JobQueue::markDone(uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    done_.insert(id);
+    // A dependency completing can make any number of held jobs eligible.
+    not_empty_.notify_all();
+}
+
+void
+JobQueue::markFailed(uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    failed_.insert(id);
+    // Wake waiters so dead graphs are noticed (takeDead) promptly.
+    not_empty_.notify_all();
+}
+
+std::vector<Job>
+JobQueue::takeDead()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Job> dead;
+    for (size_t i = 0; i < jobs_.size();) {
+        if (deadlocked(jobs_[i])) {
+            dead.push_back(std::move(jobs_[i]));
+            jobs_.erase(jobs_.begin() + i);
+            not_full_.notify_one();
+        } else {
+            ++i;
+        }
+    }
+    return dead;
 }
 
 std::optional<double>

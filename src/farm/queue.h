@@ -16,12 +16,22 @@
  *  - Simulation mode: the farm's discrete-event dispatcher uses the
  *    time-aware calls (`tryPop(now)`, `peekWindow`, `nextReadyAfter`) to
  *    pop only jobs whose ready time has arrived in simulated time.
+ *
+ * ## Job graphs
+ *
+ * A job whose `blocked_by` list is non-empty is held until every listed
+ * dependency has been reported Done via `markDone` — it is invisible to
+ * every pop/peek call until then (a stitch job can never dispatch before
+ * its chunks). If any dependency is reported Failed via `markFailed`,
+ * the blocked job is dead: it stays held and must be collected with
+ * `takeDead` so the caller can fail the graph.
  */
 
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -68,6 +78,17 @@ class JobQueue
     /** Removes the job with the given id; false if not present. */
     bool remove(uint64_t id);
 
+    /** Records a dependency as completed; jobs blocked only on Done
+     *  dependencies become eligible (waiters are woken). */
+    void markDone(uint64_t id);
+
+    /** Records a dependency as failed; jobs blocked on it become dead
+     *  (collectable via `takeDead`; waiters are woken). */
+    void markFailed(uint64_t id);
+
+    /** Removes and returns every held job with a failed dependency. */
+    std::vector<Job> takeDead();
+
     /** Smallest ready_time strictly greater than `now` (or nullopt). */
     std::optional<double> nextReadyAfter(double now) const;
 
@@ -84,6 +105,13 @@ class JobQueue
     /** True if `a` should be served before `b` under the policy. */
     bool before(const Job& a, const Job& b) const;
 
+    /** Ready and unblocked: every dependency Done, none failed, and
+     *  ready_time <= now (mu_ must be held). */
+    bool eligible(const Job& job, double now) const;
+
+    /** True if any dependency of `job` has failed (mu_ must be held). */
+    bool deadlocked(const Job& job) const;
+
     /** Index of the best eligible job, or -1 (mu_ must be held). */
     int bestIndex(double now) const;
 
@@ -94,6 +122,8 @@ class JobQueue
     std::condition_variable not_empty_;
     std::condition_variable not_full_;
     std::vector<Job> jobs_;
+    std::set<uint64_t> done_;    ///< Dependency ids reported complete.
+    std::set<uint64_t> failed_;  ///< Dependency ids reported failed.
     bool closed_ = false;
 };
 

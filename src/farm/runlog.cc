@@ -248,6 +248,10 @@ RunLog::toJsonl() const
         field(line, "crf", static_cast<int64_t>(r.crf));
         field(line, "refs", static_cast<int64_t>(r.refs));
         field(line, "priority", static_cast<int64_t>(r.priority));
+        field(line, "kind", r.kind);
+        field(line, "parent_id", static_cast<int64_t>(r.parent_id));
+        field(line, "chunk_index", static_cast<int64_t>(r.chunk_index));
+        field(line, "chunk_count", static_cast<int64_t>(r.chunk_count));
         line << ",\"state\":\"" << toString(r.state) << '"';
         field(line, "server", static_cast<int64_t>(r.server));
         line << ",\"server_name\":\"" << jsonEscape(r.server_name) << '"';
@@ -263,6 +267,8 @@ RunLog::toJsonl() const
         field(line, "actual_seconds", r.actual_seconds);
         field(line, "psnr", r.psnr);
         field(line, "bitrate_kbps", r.bitrate_kbps);
+        field(line, "delta_psnr_db", r.delta_psnr_db);
+        field(line, "delta_bitrate_kbps", r.delta_bitrate_kbps);
         field(line, "retiring", r.topdown.retiring);
         field(line, "frontend_bound", r.topdown.frontend);
         field(line, "bad_speculation", r.topdown.bad_speculation);

@@ -40,6 +40,12 @@ struct JobRecord
     int priority = 0;
     JobState state = JobState::Pending;
 
+    // Job-graph fields (chunked transcodes; defaults for plain jobs).
+    std::string kind = "transcode"; ///< "transcode", "chunk" or "stitch".
+    uint64_t parent_id = 0;   ///< Stitch job a chunk feeds (0 = none).
+    int chunk_index = 0;      ///< Position among sibling chunks.
+    int chunk_count = 0;      ///< On a stitch record: chunks in the graph.
+
     int server = -1;          ///< Fleet id of the final attempt (-1: shed).
     std::string server_name;  ///< "be_op1#0" (empty: shed).
     int attempts = 0;         ///< Dispatches, including the final one.
@@ -59,6 +65,11 @@ struct JobRecord
     double bitrate_kbps = 0.0;
     uarch::TopDown topdown;
     uint64_t result_fingerprint = 0;
+
+    // Stitch records only: boundary cost vs the unchunked whole-video
+    // encode of the same task (stitched minus unchunked).
+    double delta_psnr_db = 0.0;
+    double delta_bitrate_kbps = 0.0;
 
     /** finish - submit (the service latency). */
     double latency() const { return finish - submit; }

@@ -1,0 +1,454 @@
+/**
+ * @file
+ * Tests of the GOP-chunked distributed transcode path: split/stitch
+ * round-trips, grouping- and worker-invariance of the stitched bytes,
+ * IDR-set determinism, job-graph dependency semantics on the farm
+ * (stitch-after-chunks, failure propagation, retries), and thread safety
+ * of the blocked-job queue path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chunk/chunk.h"
+#include "codec/decoder.h"
+#include "codec/params.h"
+#include "core/parallel.h"
+#include "core/workload.h"
+#include "farm/farm.h"
+#include "farm/queue.h"
+#include "farm/runlog.h"
+#include "uarch/config.h"
+
+namespace vtrans {
+namespace {
+
+constexpr double kClipSeconds = 0.3; // 9 frames of "cat" at 29 fps.
+
+codec::EncoderParams
+targetParams()
+{
+    codec::EncoderParams params = codec::presetParams("ultrafast");
+    params.crf = 30;
+    params.refs = 1;
+    return params;
+}
+
+core::ChunkedOptions
+chunkedOptions(int chunk_frames, int max_chunks, int jobs = 1)
+{
+    core::ChunkedOptions options;
+    options.video = "cat";
+    options.seconds = kClipSeconds;
+    options.params = targetParams();
+    options.core = uarch::baselineConfig();
+    options.chunking.chunk_frames = chunk_frames;
+    options.chunking.max_chunks = max_chunks;
+    options.jobs = jobs;
+    return options;
+}
+
+/** A small all-baseline farm (no calibration work, cheap to drain). */
+farm::FarmOptions
+lightFarm(int workers)
+{
+    farm::FarmOptions options;
+    options.pool = {uarch::baselineConfig()};
+    options.replicas = 2;
+    options.workers = workers;
+    options.clip_seconds = kClipSeconds;
+    options.reference_video = "cat";
+    return options;
+}
+
+farm::JobRequest
+request(int retry_budget = 0)
+{
+    farm::JobRequest req;
+    req.task = {"cat", 30, 1, "ultrafast"};
+    req.retry_budget = retry_budget;
+    return req;
+}
+
+TEST(ChunkSplit, BoundariesComeFromLookaheadAndCoverTheClip)
+{
+    const auto& source = core::mezzanine("cat", kClipSeconds);
+    chunk::ChunkOptions opts;
+    opts.chunk_frames = 3;
+    const chunk::SplitPlan plan =
+        chunk::split(source, targetParams(), opts);
+
+    ASSERT_FALSE(plan.segments.empty());
+    ASSERT_FALSE(plan.boundaries.empty());
+    EXPECT_EQ(plan.boundaries.front(), 0);
+    int covered = 0;
+    for (size_t i = 0; i < plan.segments.size(); ++i) {
+        EXPECT_EQ(plan.segments[i].first_frame, covered);
+        EXPECT_GT(plan.segments[i].frame_count, 0);
+        EXPECT_FALSE(plan.segments[i].source.empty());
+        covered += plan.segments[i].frame_count;
+    }
+    EXPECT_EQ(covered, plan.total_frames);
+}
+
+TEST(ChunkSplit, GroupingIsContiguousAndBalanced)
+{
+    const auto one = chunk::groupSegments(9, 1);
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0], std::make_pair(0, 9));
+
+    const auto four = chunk::groupSegments(9, 4);
+    ASSERT_EQ(four.size(), 4u);
+    int next = 0;
+    for (const auto& [first, count] : four) {
+        EXPECT_EQ(first, next);
+        EXPECT_GE(count, 2);
+        EXPECT_LE(count, 3);
+        next += count;
+    }
+    EXPECT_EQ(next, 9);
+
+    // More chunks than segments clamps to one segment per chunk.
+    EXPECT_EQ(chunk::groupSegments(3, 8).size(), 3u);
+}
+
+TEST(ChunkedTranscode, StitchedBytesInvariantToChunkCount)
+{
+    std::vector<uint64_t> fingerprints;
+    std::vector<size_t> sizes;
+    for (int max_chunks : {1, 2, 4, 8}) {
+        const core::ChunkedResult result =
+            core::chunkedTranscode(chunkedOptions(1, max_chunks));
+        ASSERT_FALSE(result.stitched.empty());
+        EXPECT_EQ(result.chunks,
+                  std::min<size_t>(max_chunks, result.segments));
+
+        // Decoder round-trip of the stitched stream.
+        const codec::DecodeResult decoded = codec::decode(result.stitched);
+        EXPECT_EQ(static_cast<size_t>(decoded.frames.size()),
+                  static_cast<size_t>(9));
+        EXPECT_GT(result.psnr, 20.0);
+        EXPECT_GT(result.bitrate_kbps, 0.0);
+
+        fingerprints.push_back(result.stream_fingerprint);
+        sizes.push_back(result.stitched.size());
+    }
+    for (size_t i = 1; i < fingerprints.size(); ++i) {
+        EXPECT_EQ(fingerprints[i], fingerprints[0])
+            << "chunk-count grouping changed the stitched bytes";
+        EXPECT_EQ(sizes[i], sizes[0]);
+    }
+}
+
+TEST(ChunkedTranscode, StitchedBytesInvariantToWorkerCount)
+{
+    const core::ChunkedResult serial =
+        core::chunkedTranscode(chunkedOptions(1, 4, /*jobs=*/1));
+    const core::ChunkedResult parallel =
+        core::chunkedTranscode(chunkedOptions(1, 4, /*jobs=*/4));
+    ASSERT_EQ(serial.stitched.size(), parallel.stitched.size());
+    EXPECT_EQ(serial.stream_fingerprint, parallel.stream_fingerprint);
+    EXPECT_TRUE(serial.stitched == parallel.stitched);
+}
+
+TEST(ChunkedTranscode, IdrSetInvariantToChunkingAndSupersetOfPlan)
+{
+    const core::ChunkedResult two =
+        core::chunkedTranscode(chunkedOptions(3, 2));
+    const core::ChunkedResult four =
+        core::chunkedTranscode(chunkedOptions(3, 4));
+    const auto idr_two = chunk::iFrameDisplays(two.stitched);
+    const auto idr_four = chunk::iFrameDisplays(four.stitched);
+    EXPECT_EQ(idr_two, idr_four)
+        << "chunk grouping changed the IDR placement";
+
+    const auto plan = core::cachedSplit(
+        "cat", kClipSeconds, targetParams(),
+        chunk::ChunkOptions{/*chunk_frames=*/3, /*max_chunks=*/0});
+    const std::set<int> idr_set(idr_two.begin(), idr_two.end());
+    for (int boundary : plan->boundaries) {
+        EXPECT_TRUE(idr_set.count(boundary) != 0)
+            << "plan boundary " << boundary << " is not an IDR frame";
+    }
+}
+
+TEST(ChunkedTranscode, DisabledMatchesWholeVideoPathByteForByte)
+{
+    const core::ChunkedResult disabled =
+        core::chunkedTranscode(chunkedOptions(0, 0));
+    EXPECT_EQ(disabled.chunks, 1u);
+    EXPECT_DOUBLE_EQ(disabled.stitch_seconds, 0.0);
+
+    farm::Farm::warmupProcess();
+    core::RunConfig cfg;
+    cfg.video = "cat";
+    cfg.seconds = kClipSeconds;
+    cfg.params = targetParams();
+    cfg.core = uarch::baselineConfig();
+    cfg.keep_output = true;
+    const core::RunResult whole = core::runInstrumented(cfg);
+    EXPECT_TRUE(disabled.stitched == whole.output)
+        << "disabled chunking must be byte-identical to the plain path";
+}
+
+TEST(ChunkedTranscode, ReportsBoundaryCostAgainstUnchunked)
+{
+    core::ChunkedOptions options = chunkedOptions(3, 0);
+    options.compare_unchunked = true;
+    const core::ChunkedResult result = core::chunkedTranscode(options);
+    EXPECT_GT(result.psnr, 20.0);
+    // Closed-GOP chunk starts cost bits/quality but must stay sane.
+    EXPECT_LT(std::abs(result.delta_psnr_db), 10.0);
+    EXPECT_GT(result.total_sim_seconds, result.stitch_seconds);
+}
+
+TEST(JobQueue, DependenciesHoldJobsUntilEveryDepIsDone)
+{
+    farm::JobQueue q(farm::QueuePolicy::Fifo, 8);
+    farm::Job stitch;
+    stitch.id = 9;
+    stitch.task = {"cat", 30, 1, "ultrafast"};
+    stitch.blocked_by = {1, 2};
+    ASSERT_TRUE(q.tryPush(stitch));
+    farm::Job chunk1;
+    chunk1.id = 1;
+    chunk1.task = stitch.task;
+    farm::Job chunk2 = chunk1;
+    chunk2.id = 2;
+    ASSERT_TRUE(q.tryPush(chunk1));
+    ASSERT_TRUE(q.tryPush(chunk2));
+
+    // The blocked job is invisible to pops and the matching window.
+    EXPECT_EQ(q.peekWindow(10.0, 8).size(), 2u);
+    EXPECT_EQ(q.tryPop()->id, 1u);
+    EXPECT_EQ(q.tryPop()->id, 2u);
+    EXPECT_FALSE(q.tryPop().has_value());
+    EXPECT_EQ(q.size(), 1u);
+
+    q.markDone(1);
+    EXPECT_FALSE(q.tryPop().has_value());
+    q.markDone(2);
+    EXPECT_EQ(q.tryPop()->id, 9u);
+}
+
+TEST(JobQueue, FailedDependencyMakesBlockedJobsCollectableAsDead)
+{
+    farm::JobQueue q(farm::QueuePolicy::Fifo, 8);
+    farm::Job stitch;
+    stitch.id = 9;
+    stitch.task = {"cat", 30, 1, "ultrafast"};
+    stitch.blocked_by = {1, 2};
+    ASSERT_TRUE(q.tryPush(stitch));
+
+    q.markDone(1);
+    EXPECT_TRUE(q.takeDead().empty());
+    q.markFailed(2);
+    EXPECT_FALSE(q.tryPop().has_value());
+    const auto dead = q.takeDead();
+    ASSERT_EQ(dead.size(), 1u);
+    EXPECT_EQ(dead[0].id, 9u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(JobQueue, BlockedPathIsThreadSafeUnderConcurrentPops)
+{
+    farm::JobQueue q(farm::QueuePolicy::Fifo, 64);
+    farm::Job stitch;
+    stitch.id = 99;
+    stitch.task = {"cat", 30, 1, "ultrafast"};
+    stitch.blocked_by = {1, 2, 3, 4};
+    ASSERT_TRUE(q.tryPush(stitch));
+    for (uint64_t id = 1; id <= 4; ++id) {
+        farm::Job job;
+        job.id = id;
+        job.task = stitch.task;
+        ASSERT_TRUE(q.tryPush(job));
+    }
+
+    std::mutex mu;
+    std::vector<uint64_t> order;
+    auto worker = [&] {
+        while (auto job = q.waitPop()) {
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                order.push_back(job->id);
+            }
+            q.markDone(job->id);
+        }
+    };
+    std::thread a(worker);
+    std::thread b(worker);
+    while (true) {
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            if (order.size() == 5) {
+                break;
+            }
+        }
+        std::this_thread::yield();
+    }
+    q.close();
+    a.join();
+    b.join();
+    ASSERT_EQ(order.size(), 5u);
+    EXPECT_EQ(order.back(), 99u)
+        << "the stitch job dispatched before all chunks completed";
+}
+
+TEST(JobKey, ChunkGeometryKeepsSignaturesDistinct)
+{
+    farm::Job plain;
+    plain.task = {"cat", 30, 1, "ultrafast"};
+
+    farm::Job chunk0 = plain;
+    chunk0.parent_id = 7;
+    chunk0.chunk_index = 0;
+    chunk0.chunk_first = 0;
+    chunk0.chunk_frames = 3;
+    chunk0.chunk_gop = 3;
+
+    farm::Job chunk1 = chunk0;
+    chunk1.chunk_index = 1;
+    chunk1.chunk_first = 3;
+
+    // Same frame span split at a different spacing is different work.
+    farm::Job regrouped = chunk0;
+    regrouped.chunk_gop = 6;
+    regrouped.chunk_frames = 6;
+
+    farm::Job stitch = plain;
+    stitch.blocked_by = {1, 2};
+    stitch.chunk_count = 2;
+    stitch.chunk_gop = 3;
+
+    const std::set<std::string> keys{plain.key(), chunk0.key(),
+                                     chunk1.key(), regrouped.key(),
+                                     stitch.key()};
+    EXPECT_EQ(keys.size(), 5u) << "task signatures alias";
+}
+
+TEST(FarmChunked, StitchWaitsForEveryChunkAndRecordsTheGraph)
+{
+    farm::Farm farm(lightFarm(2));
+    const uint64_t plain_id = farm.submit(request());
+    chunk::ChunkOptions chunking;
+    chunking.chunk_frames = 3;
+    const uint64_t stitch_id = farm.submitChunked(request(), chunking);
+    const farm::RunLog& log = farm.drain();
+
+    const farm::JobRecord& stitch = log.record(stitch_id);
+    EXPECT_EQ(stitch.kind, "stitch");
+    EXPECT_EQ(stitch.state, farm::JobState::Done);
+    EXPECT_GT(stitch.chunk_count, 1);
+    EXPECT_GT(stitch.psnr, 20.0);
+    EXPECT_GT(stitch.bitrate_kbps, 0.0);
+    EXPECT_NE(stitch.result_fingerprint, 0u);
+    EXPECT_GT(stitch.actual_seconds, 0.0);
+
+    int chunks = 0;
+    double last_chunk_finish = 0.0;
+    for (const farm::JobRecord& r : log.records()) {
+        if (r.parent_id != stitch_id) {
+            continue;
+        }
+        ++chunks;
+        EXPECT_EQ(r.kind, "chunk");
+        EXPECT_EQ(r.state, farm::JobState::Done);
+        last_chunk_finish = std::max(last_chunk_finish, r.finish);
+    }
+    EXPECT_EQ(chunks, stitch.chunk_count);
+    EXPECT_GE(stitch.start, last_chunk_finish)
+        << "stitch dispatched before its chunks completed";
+
+    const farm::JobRecord& plain = log.record(plain_id);
+    EXPECT_EQ(plain.kind, "transcode");
+    EXPECT_EQ(plain.parent_id, 0u);
+
+    // The JSONL log carries the graph fields.
+    const std::string jsonl = log.toJsonl();
+    EXPECT_NE(jsonl.find("\"kind\":\"stitch\""), std::string::npos);
+    EXPECT_NE(jsonl.find("\"kind\":\"chunk\""), std::string::npos);
+    EXPECT_NE(jsonl.find("\"parent_id\":" + std::to_string(stitch_id)),
+              std::string::npos);
+    EXPECT_NE(jsonl.find("\"chunk_index\":"), std::string::npos);
+    EXPECT_NE(jsonl.find("\"delta_psnr_db\":"), std::string::npos);
+}
+
+TEST(FarmChunked, RunLogIdenticalAcrossWorkerCounts)
+{
+    std::string logs[2];
+    const int workers[2] = {1, 4};
+    for (int i = 0; i < 2; ++i) {
+        farm::Farm farm(lightFarm(workers[i]));
+        farm.submit(request());
+        chunk::ChunkOptions chunking;
+        chunking.chunk_frames = 3;
+        farm.submitChunked(request(), chunking);
+        logs[i] = farm.drain().toJsonl();
+    }
+    EXPECT_EQ(logs[0], logs[1])
+        << "worker count changed the chunked run log";
+}
+
+TEST(FarmChunked, ChunkFailureFailsTheWholeGraph)
+{
+    farm::FarmOptions options = lightFarm(2);
+    options.fault_rate = 1.0;
+    farm::Farm farm(options);
+    chunk::ChunkOptions chunking;
+    chunking.chunk_frames = 3;
+    const uint64_t stitch_id =
+        farm.submitChunked(request(/*retry_budget=*/0), chunking);
+    const farm::RunLog& log = farm.drain();
+
+    const farm::JobRecord& stitch = log.record(stitch_id);
+    EXPECT_EQ(stitch.state, farm::JobState::Failed);
+    EXPECT_EQ(stitch.attempts, 0) << "a dead stitch job must not dispatch";
+    double last_chunk_finish = 0.0;
+    for (const farm::JobRecord& r : log.records()) {
+        if (r.parent_id == stitch_id) {
+            EXPECT_EQ(r.state, farm::JobState::Failed);
+            last_chunk_finish = std::max(last_chunk_finish, r.finish);
+        }
+    }
+    EXPECT_GE(stitch.finish, last_chunk_finish);
+}
+
+TEST(FarmChunked, RetriesRecoverTheGraphDeterministically)
+{
+    // Healthy reference: the stitched fingerprint the faulty farm must
+    // reproduce once its retries succeed.
+    uint64_t healthy_fp = 0;
+    {
+        farm::Farm farm(lightFarm(2));
+        chunk::ChunkOptions chunking;
+        chunking.chunk_frames = 3;
+        const uint64_t id = farm.submitChunked(request(), chunking);
+        healthy_fp = farm.drain().record(id).result_fingerprint;
+    }
+
+    farm::FarmOptions options = lightFarm(2);
+    options.fault_rate = 0.3;
+    options.fault_seed = 0xc0ffeeull;
+    farm::Farm farm(options);
+    chunk::ChunkOptions chunking;
+    chunking.chunk_frames = 3;
+    const uint64_t stitch_id =
+        farm.submitChunked(request(/*retry_budget=*/8), chunking);
+    const farm::RunLog& log = farm.drain();
+
+    const farm::JobRecord& stitch = log.record(stitch_id);
+    ASSERT_EQ(stitch.state, farm::JobState::Done)
+        << "retry budget 8 at fault rate 0.3 should recover the graph";
+    EXPECT_EQ(stitch.result_fingerprint, healthy_fp)
+        << "retries changed the stitched bytes";
+}
+
+} // namespace
+} // namespace vtrans

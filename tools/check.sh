@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # CI-style smoke check: configure, build, run the full test suite,
-# exercise the transcoding-farm service end to end, then rebuild the
-# cross-thread suites under ThreadSanitizer (VTRANS_SANITIZE=thread) and
-# rerun them. Any non-zero exit fails the check.
+# exercise the transcoding-farm service end to end (whole-video and
+# GOP-chunked job graphs), then rebuild the cross-thread suites under
+# ThreadSanitizer (VTRANS_SANITIZE=thread) and rerun them. Any non-zero
+# exit fails the check.
 #
 #   tools/check.sh [build-dir]
 #
@@ -28,6 +29,13 @@ OBS_DIR="$BUILD_DIR/obs-smoke"
 mkdir -p "$OBS_DIR"
 "$BUILD_DIR"/examples/transcode_farm --jobs 64 --seconds 0.15 \
     --policy smart --trace-out "$OBS_DIR/farm-trace.json"
+
+echo "== chunked transcode smoke (split/stitch + worker invariance) =="
+# Split->encode->stitch round-trip, fingerprint identity across worker
+# counts, and the chunked farm end to end (graph summary + boundary cost).
+"$BUILD_DIR"/tests/test_chunk --gtest_filter='ChunkedTranscode.StitchedBytesInvariantToWorkerCount:ChunkedTranscode.DisabledMatchesWholeVideoPathByteForByte:FarmChunked.RunLogIdenticalAcrossWorkerCounts'
+"$BUILD_DIR"/examples/transcode_farm --jobs 8 --seconds 0.12 \
+    --policy smart --chunked --chunk-frames 3
 
 echo "== parallel sweep smoke (+ hotspots + stage trace) =="
 "$BUILD_DIR"/bench/fig3_heatmaps --coarse --seconds 0.1 --jobs 4 --quiet \
@@ -61,9 +69,10 @@ if [[ "${VTRANS_SKIP_TSAN:-0}" != 1 ]]; then
     TSAN_DIR="${BUILD_DIR}-tsan"
     cmake -B "$TSAN_DIR" -S . -DVTRANS_SANITIZE=thread
     cmake --build "$TSAN_DIR" -j --target test_trace test_farm \
-        test_parallel_sweep test_obs
+        test_chunk test_parallel_sweep test_obs
     "$TSAN_DIR"/tests/test_trace
     "$TSAN_DIR"/tests/test_farm
+    "$TSAN_DIR"/tests/test_chunk
     "$TSAN_DIR"/tests/test_parallel_sweep
     "$TSAN_DIR"/tests/test_obs
 fi
