@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "codec/strategies/strategies.h"
 #include "common/cli.h"
 #include "common/status.h"
 #include "core/parallel.h"
@@ -58,6 +59,12 @@ benchTracer()
  *   --batch-size <n>  probe-pipeline batch capacity (0 = per-event
  *                     dispatch; default from VTRANS_PROBE_BATCH or the
  *                     microbench-chosen trace::kDefaultProbeBatch)
+ *   --kernels <isa>   kernel backend: scalar, sse41, avx2 or auto
+ *                     (default from VTRANS_KERNEL_ISA, else auto; every
+ *                     backend is bit-identical)
+ *   --kernel-model <m> simulated kernel cost model: scalar (default,
+ *                     bit-identical fingerprints) or vector (SIMD-form
+ *                     probe sites, see uarch/simdcost.h)
  * Observability (see observabilityReport()):
  *   --hotspots        collect + print the VTune-style hotspot table
  *   --hotspots-out <p> collect + write the hotspot report as JSON
@@ -81,6 +88,19 @@ parseBenchOptions(int argc, char** argv)
         "batch-size", static_cast<int64_t>(trace::defaultBatchCapacity()));
     trace::setDefaultBatchCapacity(
         batch <= 0 ? 0 : static_cast<uint32_t>(batch));
+
+    // Kernel backend (bit-identical across values) and simulated cost
+    // model (vector is the opt-in SIMD-form probe model).
+    const std::string kernels = cli.str("kernels", "");
+    if (!kernels.empty() && !codec::setKernelIsa(kernels)) {
+        VT_FATAL("--kernels must be scalar, sse41, avx2 or auto (and "
+                 "supported by this CPU); got ", kernels);
+    }
+    const std::string kernel_model = cli.str("kernel-model", "");
+    if (!kernel_model.empty() && !codec::setKernelModel(kernel_model)) {
+        VT_FATAL("--kernel-model must be scalar or vector; got ",
+                 kernel_model);
+    }
 
     if (cli.has("full")) {
         options.crf_grid = core::fullCrfGrid();

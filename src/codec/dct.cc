@@ -3,134 +3,82 @@
 #include <cstdlib>
 
 #include "codec/pixel.h"
+#include "codec/strategies/strategies.h"
 #include "codec/tables.h"
 #include "trace/probe.h"
+#include "uarch/simdcost.h"
 
 namespace vtrans::codec {
 
 void
 forwardDct4x4(int16_t block[16])
 {
-    VT_SITE(site, "dct.forward4x4", 160, 40, BlockLoadDep);
-    trace::block(site);
+    if (vectorKernelModel()) {
+        VT_SITE(site_vec, "dct.forward4x4.vec", uarch::kVecDctForward.bytes,
+                uarch::kVecDctForward.instructions, BlockLoadDep);
+        trace::block(site_vec);
+    } else {
+        VT_SITE(site, "dct.forward4x4", 160, 40, BlockLoadDep);
+        trace::block(site);
+    }
     trace::load(static_cast<uint64_t>(Scratch::Residual), 32);
     trace::store(static_cast<uint64_t>(Scratch::Coeff), 32);
 
-    int tmp[16];
-    // Rows: butterfly with the [1 1 1 1; 2 1 -1 -2; ...] core matrix.
-    for (int i = 0; i < 4; ++i) {
-        const int s0 = block[i * 4 + 0];
-        const int s1 = block[i * 4 + 1];
-        const int s2 = block[i * 4 + 2];
-        const int s3 = block[i * 4 + 3];
-        const int a = s0 + s3;
-        const int b = s1 + s2;
-        const int c = s1 - s2;
-        const int d = s0 - s3;
-        tmp[i * 4 + 0] = a + b;
-        tmp[i * 4 + 1] = 2 * d + c;
-        tmp[i * 4 + 2] = a - b;
-        tmp[i * 4 + 3] = d - 2 * c;
-    }
-    // Columns.
-    for (int i = 0; i < 4; ++i) {
-        const int s0 = tmp[0 * 4 + i];
-        const int s1 = tmp[1 * 4 + i];
-        const int s2 = tmp[2 * 4 + i];
-        const int s3 = tmp[3 * 4 + i];
-        const int a = s0 + s3;
-        const int b = s1 + s2;
-        const int c = s1 - s2;
-        const int d = s0 - s3;
-        block[0 * 4 + i] = static_cast<int16_t>(a + b);
-        block[1 * 4 + i] = static_cast<int16_t>(2 * d + c);
-        block[2 * 4 + i] = static_cast<int16_t>(a - b);
-        block[3 * 4 + i] = static_cast<int16_t>(d - 2 * c);
-    }
+    kernels().forward_dct4x4(block);
 }
 
 void
 inverseDct4x4(int16_t block[16])
 {
-    VT_SITE(site, "dct.inverse4x4", 160, 40, Block);
-    trace::block(site);
+    if (vectorKernelModel()) {
+        VT_SITE(site_vec, "dct.inverse4x4.vec", uarch::kVecDctInverse.bytes,
+                uarch::kVecDctInverse.instructions, Block);
+        trace::block(site_vec);
+    } else {
+        VT_SITE(site, "dct.inverse4x4", 160, 40, Block);
+        trace::block(site);
+    }
     trace::load(static_cast<uint64_t>(Scratch::Dequant), 32);
     trace::store(static_cast<uint64_t>(Scratch::Residual), 32);
 
-    int tmp[16];
-    // Rows: inverse core with half-weights implemented as shifts.
-    for (int i = 0; i < 4; ++i) {
-        const int s0 = block[i * 4 + 0];
-        const int s1 = block[i * 4 + 1];
-        const int s2 = block[i * 4 + 2];
-        const int s3 = block[i * 4 + 3];
-        const int a = s0 + s2;
-        const int b = s0 - s2;
-        const int c = (s1 >> 1) - s3;
-        const int d = s1 + (s3 >> 1);
-        tmp[i * 4 + 0] = a + d;
-        tmp[i * 4 + 1] = b + c;
-        tmp[i * 4 + 2] = b - c;
-        tmp[i * 4 + 3] = a - d;
-    }
-    // Columns, then >> 6 with rounding.
-    for (int i = 0; i < 4; ++i) {
-        const int s0 = tmp[0 * 4 + i];
-        const int s1 = tmp[1 * 4 + i];
-        const int s2 = tmp[2 * 4 + i];
-        const int s3 = tmp[3 * 4 + i];
-        const int a = s0 + s2;
-        const int b = s0 - s2;
-        const int c = (s1 >> 1) - s3;
-        const int d = s1 + (s3 >> 1);
-        block[0 * 4 + i] = static_cast<int16_t>((a + d + 32) >> 6);
-        block[1 * 4 + i] = static_cast<int16_t>((b + c + 32) >> 6);
-        block[2 * 4 + i] = static_cast<int16_t>((b - c + 32) >> 6);
-        block[3 * 4 + i] = static_cast<int16_t>((a - d + 32) >> 6);
-    }
+    kernels().inverse_dct4x4(block);
 }
 
 int
 quantize4x4(int16_t block[16], int qp, bool intra)
 {
-    VT_SITE(site, "dct.quant4x4", 120, 34, Block);
-    trace::block(site);
+    if (vectorKernelModel()) {
+        VT_SITE(site_vec, "dct.quant4x4.vec", uarch::kVecQuant.bytes,
+                uarch::kVecQuant.instructions, Block);
+        trace::block(site_vec);
+    } else {
+        VT_SITE(site, "dct.quant4x4", 120, 34, Block);
+        trace::block(site);
+    }
     trace::load(static_cast<uint64_t>(Scratch::Coeff), 32);
     trace::store(static_cast<uint64_t>(Scratch::Coeff), 32);
 
     const int shift = quantShift(qp);
     // Dead zone: intra f = 2^shift / 3, inter f = 2^shift / 6.
     const int f = (1 << shift) / (intra ? 3 : 6);
-    int nonzero = 0;
-    for (int i = 0; i < 16; ++i) {
-        const int coef = block[i];
-        const int mf = quantMf(qp, i);
-        const int level = (std::abs(coef) * mf + f) >> shift;
-        block[i] = static_cast<int16_t>(coef < 0 ? -level : level);
-        if (level != 0) {
-            ++nonzero;
-        }
-    }
-    return nonzero;
+    return kernels().quantize4x4(block, quantMfRow(qp), f, shift);
 }
 
 void
 dequantize4x4(int16_t block[16], int qp)
 {
-    VT_SITE(site, "dct.dequant4x4", 96, 24, Block);
-    trace::block(site);
+    if (vectorKernelModel()) {
+        VT_SITE(site_vec, "dct.dequant4x4.vec", uarch::kVecDequant.bytes,
+                uarch::kVecDequant.instructions, Block);
+        trace::block(site_vec);
+    } else {
+        VT_SITE(site, "dct.dequant4x4", 96, 24, Block);
+        trace::block(site);
+    }
     trace::load(static_cast<uint64_t>(Scratch::Coeff), 32);
     trace::store(static_cast<uint64_t>(Scratch::Dequant), 32);
 
-    const int scale = qp / 6;
-    for (int i = 0; i < 16; ++i) {
-        // Clamp into int16; encoder and decoder share this exact path, so
-        // reconstruction stays bit-identical even when clamping fires.
-        const int v = (static_cast<int>(block[i]) * dequantV(qp, i))
-                      << scale;
-        block[i] = static_cast<int16_t>(
-            v > 32767 ? 32767 : (v < -32768 ? -32768 : v));
-    }
+    kernels().dequantize4x4(block, dequantVRow(qp), qp / 6);
 }
 
 } // namespace vtrans::codec

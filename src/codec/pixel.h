@@ -43,7 +43,11 @@ scratchAddr(Scratch s, uint32_t offset)
 /**
  * Sum of absolute differences between a w x h block of `cur` at (cx, cy)
  * and of `ref` at (rx, ry), with edge clamping on the reference and early
- * termination against `best` after every 4 rows. w must be 4, 8 or 16.
+ * termination against `best` between 8-row chunks. The chunk size matches
+ * the SIMD SAD ladders (x264-style), which accumulate 8 rows per PSADBW
+ * pass; checking `best` more often than the vector kernel computes would
+ * change results across backends. sadSubpel, whose interpolation works in
+ * 4-row tiles, checks every 4 rows instead. w must be 4, 8 or 16.
  */
 int sadBlock(const video::Frame& cur, int cx, int cy, const video::Frame& ref,
              int rx, int ry, int w, int h, int best);

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * AVX2 strategy kernels: the bandwidth-bound ops (SAD, bilinear MC,
+ * averaging) processed 32 bytes / two rows at a time. The 4x4 transform
+ * and quant kernels stay on the SSE4.1 forms — a single 4x4 block does
+ * not fill a 256-bit lane, so the AVX2 table reuses those entries (see
+ * avx2Kernels()). Compiled with -mavx2 on x86-64 only and runtime-gated
+ * by __builtin_cpu_supports("avx2").
+ *
+ * Exactness: VPSADBW and VPAVGB are exact by construction; the bilinear
+ * path is the SSE4.1 16-bit-lane math on wider registers. The
+ * differential suite covers every op against the scalar reference.
+ */
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <cstring>
+#include <immintrin.h>
+
+#include "codec/strategies/kernels_internal.h"
+#include "codec/strategies/strategies.h"
+
+namespace vtrans::codec::strategies {
+
+namespace {
+
+inline __m128i
+load8x(const uint8_t* p)
+{
+    int64_t v;
+    std::memcpy(&v, p, 8);
+    return _mm_cvtsi64_si128(v);
+}
+
+inline __m128i
+load4x(const uint8_t* p)
+{
+    int32_t v;
+    std::memcpy(&v, p, 4);
+    return _mm_cvtsi32_si128(v);
+}
+
+/** Sums the four 64-bit psadbw accumulators of a 256-bit register. */
+inline int
+sadReduce256(__m256i acc)
+{
+    const __m128i lo = _mm256_castsi256_si128(acc);
+    const __m128i hi = _mm256_extracti128_si256(acc, 1);
+    const __m128i sum = _mm_add_epi64(lo, hi);
+    return static_cast<int>(_mm_cvtsi128_si32(sum)
+                            + _mm_extract_epi32(sum, 2));
+}
+
+int
+sadRowsAvx2(const uint8_t* cur, int cstride, const uint8_t* ref,
+            int rstride, int w, int rows)
+{
+    int sad = 0;
+    if (w == 16) {
+        __m256i acc = _mm256_setzero_si256();
+        int y = 0;
+        for (; y + 2 <= rows; y += 2) {
+            const __m256i c = _mm256_inserti128_si256(
+                _mm256_castsi128_si256(_mm_loadu_si128(
+                    reinterpret_cast<const __m128i*>(cur))),
+                _mm_loadu_si128(
+                    reinterpret_cast<const __m128i*>(cur + cstride)),
+                1);
+            const __m256i r = _mm256_inserti128_si256(
+                _mm256_castsi128_si256(_mm_loadu_si128(
+                    reinterpret_cast<const __m128i*>(ref))),
+                _mm_loadu_si128(
+                    reinterpret_cast<const __m128i*>(ref + rstride)),
+                1);
+            acc = _mm256_add_epi64(acc, _mm256_sad_epu8(c, r));
+            cur += 2 * cstride;
+            ref += 2 * rstride;
+        }
+        sad = sadReduce256(acc);
+        if (y < rows) {
+            const __m128i d = _mm_sad_epu8(
+                _mm_loadu_si128(reinterpret_cast<const __m128i*>(cur)),
+                _mm_loadu_si128(reinterpret_cast<const __m128i*>(ref)));
+            sad += _mm_cvtsi128_si32(d) + _mm_extract_epi32(d, 2);
+        }
+        return sad;
+    }
+    // w == 8 / w == 4: pack two rows into one 128-bit psadbw.
+    __m128i acc = _mm_setzero_si128();
+    int y = 0;
+    for (; y + 2 <= rows; y += 2) {
+        __m128i c;
+        __m128i r;
+        if (w == 8) {
+            c = _mm_unpacklo_epi64(load8x(cur), load8x(cur + cstride));
+            r = _mm_unpacklo_epi64(load8x(ref), load8x(ref + rstride));
+        } else {
+            c = _mm_unpacklo_epi32(load4x(cur), load4x(cur + cstride));
+            r = _mm_unpacklo_epi32(load4x(ref), load4x(ref + rstride));
+        }
+        acc = _mm_add_epi64(acc, _mm_sad_epu8(c, r));
+        cur += 2 * cstride;
+        ref += 2 * rstride;
+    }
+    if (y < rows) {
+        const __m128i c = w == 8 ? load8x(cur) : load4x(cur);
+        const __m128i r = w == 8 ? load8x(ref) : load4x(ref);
+        acc = _mm_add_epi64(acc, _mm_sad_epu8(c, r));
+    }
+    return _mm_cvtsi128_si32(acc) + _mm_extract_epi32(acc, 2);
+}
+
+void
+mcBilinearAvx2(uint8_t* dst, int dstride, const uint8_t* src, int sstride,
+               int w, int h, int fx, int fy)
+{
+    if (w < 16) {
+        // Narrow blocks do not fill a 256-bit lane; the SSE4.1 form is
+        // integer-exact and as fast.
+        sse41Kernels()->mc_bilinear(dst, dstride, src, sstride, w, h, fx,
+                                    fy);
+        return;
+    }
+    const __m256i wx0 = _mm256_set1_epi16(static_cast<int16_t>(4 - fx));
+    const __m256i wx1 = _mm256_set1_epi16(static_cast<int16_t>(fx));
+    const __m256i wy0 = _mm256_set1_epi16(static_cast<int16_t>(4 - fy));
+    const __m256i wy1 = _mm256_set1_epi16(static_cast<int16_t>(fy));
+    const __m256i bias = _mm256_set1_epi16(8);
+    for (int y = 0; y < h; ++y) {
+        const uint8_t* s0 = src + y * sstride;
+        const uint8_t* s1 = s0 + sstride;
+        const __m256i a0 = _mm256_cvtepu8_epi16(_mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(s0)));
+        const __m256i a1 = _mm256_cvtepu8_epi16(_mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(s0 + 1)));
+        const __m256i b0 = _mm256_cvtepu8_epi16(_mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(s1)));
+        const __m256i b1 = _mm256_cvtepu8_epi16(_mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(s1 + 1)));
+        const __m256i h0 = _mm256_add_epi16(_mm256_mullo_epi16(a0, wx0),
+                                            _mm256_mullo_epi16(a1, wx1));
+        const __m256i h1 = _mm256_add_epi16(_mm256_mullo_epi16(b0, wx0),
+                                            _mm256_mullo_epi16(b1, wx1));
+        const __m256i out = _mm256_srli_epi16(
+            _mm256_add_epi16(
+                _mm256_add_epi16(_mm256_mullo_epi16(h0, wy0),
+                                 _mm256_mullo_epi16(h1, wy1)),
+                bias),
+            4);
+        const __m128i packed =
+            _mm_packus_epi16(_mm256_castsi256_si128(out),
+                             _mm256_extracti128_si256(out, 1));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + y * dstride),
+                         packed);
+    }
+}
+
+void
+averageAvx2(uint8_t* dst, const uint8_t* a, const uint8_t* b, int n)
+{
+    int i = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i va = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(a + i));
+        const __m256i vb = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(b + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                            _mm256_avg_epu8(va, vb));
+    }
+    for (; i < n; ++i) {
+        dst[i] = static_cast<uint8_t>((a[i] + b[i] + 1) >> 1);
+    }
+}
+
+} // namespace
+
+} // namespace vtrans::codec::strategies
+
+namespace vtrans::codec {
+
+const KernelOps*
+avx2Kernels()
+{
+    using namespace strategies;
+    if (!__builtin_cpu_supports("avx2")) {
+        return nullptr;
+    }
+    const KernelOps* sse41 = sse41Kernels();
+    if (sse41 == nullptr) {
+        return nullptr; // AVX2 implies SSE4.1; defensive.
+    }
+    static const KernelOps ops = {
+        "avx2",
+        sadRowsAvx2,
+        sse41->satd4x4,          // 4x4 blocks do not fill 256-bit lanes
+        sse41->forward_dct4x4,
+        sse41->inverse_dct4x4,
+        sse41->quantize4x4,
+        sse41->dequantize4x4,
+        sse41->mc_copy,
+        mcBilinearAvx2,
+        averageAvx2,
+    };
+    return &ops;
+}
+
+} // namespace vtrans::codec
+
+#else // !x86-64: no AVX2 backend in this build.
+
+#include "codec/strategies/strategies.h"
+
+namespace vtrans::codec {
+
+const KernelOps*
+avx2Kernels()
+{
+    return nullptr;
+}
+
+} // namespace vtrans::codec
+
+#endif

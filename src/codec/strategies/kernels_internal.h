@@ -1,0 +1,37 @@
+#ifndef VTRANS_CODEC_STRATEGIES_KERNELS_INTERNAL_H_
+#define VTRANS_CODEC_STRATEGIES_KERNELS_INTERNAL_H_
+
+/**
+ * @file
+ * Internal declarations shared between the strategy backends: the scalar
+ * reference implementations (used directly by the scalar table and as
+ * fallback entries for ops a vector backend does not specialize) and the
+ * per-ISA table getters strategies.cc dispatches over.
+ *
+ * x86 vector backends are compiled only on x86-64 (see
+ * codec/CMakeLists.txt); their getters return nullptr when the build
+ * lacks them or the CPU lacks the ISA.
+ */
+
+#include <cstdint>
+
+namespace vtrans::codec::strategies {
+
+int scalarSadRows(const uint8_t* cur, int cstride, const uint8_t* ref,
+                  int rstride, int w, int rows);
+int scalarSatd4x4(const uint8_t* cur, int cstride, const uint8_t* pred,
+                  int pstride);
+void scalarForwardDct4x4(int16_t block[16]);
+void scalarInverseDct4x4(int16_t block[16]);
+int scalarQuantize4x4(int16_t block[16], const int32_t mf[16], int32_t f,
+                      int shift);
+void scalarDequantize4x4(int16_t block[16], const int32_t v[16], int scale);
+void scalarMcCopy(uint8_t* dst, int dstride, const uint8_t* src,
+                  int sstride, int w, int h);
+void scalarMcBilinear(uint8_t* dst, int dstride, const uint8_t* src,
+                      int sstride, int w, int h, int fx, int fy);
+void scalarAverage(uint8_t* dst, const uint8_t* a, const uint8_t* b, int n);
+
+} // namespace vtrans::codec::strategies
+
+#endif // VTRANS_CODEC_STRATEGIES_KERNELS_INTERNAL_H_

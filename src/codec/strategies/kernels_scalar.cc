@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Scalar reference implementations of the strategy kernels. These carry
+ * the exact integer semantics every vector backend must reproduce: the
+ * math here is the pre-strategies code of pixel.cc / dct.cc, hoisted onto
+ * raw pointers (no Frame, no clamping, no probes).
+ */
+
+#include "codec/strategies/kernels_internal.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "codec/strategies/strategies.h"
+
+namespace vtrans::codec::strategies {
+
+int
+scalarSadRows(const uint8_t* cur, int cstride, const uint8_t* ref,
+              int rstride, int w, int rows)
+{
+    int sad = 0;
+    for (int y = 0; y < rows; ++y) {
+        for (int x = 0; x < w; ++x) {
+            sad += std::abs(static_cast<int>(cur[x])
+                            - static_cast<int>(ref[x]));
+        }
+        cur += cstride;
+        ref += rstride;
+    }
+    return sad;
+}
+
+int
+scalarSatd4x4(const uint8_t* cur, int cstride, const uint8_t* pred,
+              int pstride)
+{
+    int d[16];
+    for (int y = 0; y < 4; ++y) {
+        for (int x = 0; x < 4; ++x) {
+            d[y * 4 + x] = static_cast<int>(cur[y * cstride + x])
+                           - pred[y * pstride + x];
+        }
+    }
+    // 4-point Hadamard on rows then columns.
+    for (int y = 0; y < 4; ++y) {
+        int* r = d + y * 4;
+        const int a = r[0] + r[1];
+        const int b = r[0] - r[1];
+        const int c = r[2] + r[3];
+        const int e = r[2] - r[3];
+        r[0] = a + c;
+        r[1] = b + e;
+        r[2] = a - c;
+        r[3] = b - e;
+    }
+    int satd = 0;
+    for (int x = 0; x < 4; ++x) {
+        const int a = d[x] + d[4 + x];
+        const int b = d[x] - d[4 + x];
+        const int c = d[8 + x] + d[12 + x];
+        const int e = d[8 + x] - d[12 + x];
+        satd += std::abs(a + c) + std::abs(b + e) + std::abs(a - c)
+                + std::abs(b - e);
+    }
+    return (satd + 1) / 2;
+}
+
+void
+scalarForwardDct4x4(int16_t block[16])
+{
+    int tmp[16];
+    // Rows: butterfly with the [1 1 1 1; 2 1 -1 -2; ...] core matrix.
+    for (int i = 0; i < 4; ++i) {
+        const int s0 = block[i * 4 + 0];
+        const int s1 = block[i * 4 + 1];
+        const int s2 = block[i * 4 + 2];
+        const int s3 = block[i * 4 + 3];
+        const int a = s0 + s3;
+        const int b = s1 + s2;
+        const int c = s1 - s2;
+        const int d = s0 - s3;
+        tmp[i * 4 + 0] = a + b;
+        tmp[i * 4 + 1] = 2 * d + c;
+        tmp[i * 4 + 2] = a - b;
+        tmp[i * 4 + 3] = d - 2 * c;
+    }
+    // Columns.
+    for (int i = 0; i < 4; ++i) {
+        const int s0 = tmp[0 * 4 + i];
+        const int s1 = tmp[1 * 4 + i];
+        const int s2 = tmp[2 * 4 + i];
+        const int s3 = tmp[3 * 4 + i];
+        const int a = s0 + s3;
+        const int b = s1 + s2;
+        const int c = s1 - s2;
+        const int d = s0 - s3;
+        block[0 * 4 + i] = static_cast<int16_t>(a + b);
+        block[1 * 4 + i] = static_cast<int16_t>(2 * d + c);
+        block[2 * 4 + i] = static_cast<int16_t>(a - b);
+        block[3 * 4 + i] = static_cast<int16_t>(d - 2 * c);
+    }
+}
+
+void
+scalarInverseDct4x4(int16_t block[16])
+{
+    int tmp[16];
+    // Rows: inverse core with half-weights implemented as shifts.
+    for (int i = 0; i < 4; ++i) {
+        const int s0 = block[i * 4 + 0];
+        const int s1 = block[i * 4 + 1];
+        const int s2 = block[i * 4 + 2];
+        const int s3 = block[i * 4 + 3];
+        const int a = s0 + s2;
+        const int b = s0 - s2;
+        const int c = (s1 >> 1) - s3;
+        const int d = s1 + (s3 >> 1);
+        tmp[i * 4 + 0] = a + d;
+        tmp[i * 4 + 1] = b + c;
+        tmp[i * 4 + 2] = b - c;
+        tmp[i * 4 + 3] = a - d;
+    }
+    // Columns, then >> 6 with rounding.
+    for (int i = 0; i < 4; ++i) {
+        const int s0 = tmp[0 * 4 + i];
+        const int s1 = tmp[1 * 4 + i];
+        const int s2 = tmp[2 * 4 + i];
+        const int s3 = tmp[3 * 4 + i];
+        const int a = s0 + s2;
+        const int b = s0 - s2;
+        const int c = (s1 >> 1) - s3;
+        const int d = s1 + (s3 >> 1);
+        block[0 * 4 + i] = static_cast<int16_t>((a + d + 32) >> 6);
+        block[1 * 4 + i] = static_cast<int16_t>((b + c + 32) >> 6);
+        block[2 * 4 + i] = static_cast<int16_t>((b - c + 32) >> 6);
+        block[3 * 4 + i] = static_cast<int16_t>((a - d + 32) >> 6);
+    }
+}
+
+int
+scalarQuantize4x4(int16_t block[16], const int32_t mf[16], int32_t f,
+                  int shift)
+{
+    int nonzero = 0;
+    for (int i = 0; i < 16; ++i) {
+        const int coef = block[i];
+        const int level = (std::abs(coef) * mf[i] + f) >> shift;
+        block[i] = static_cast<int16_t>(coef < 0 ? -level : level);
+        if (level != 0) {
+            ++nonzero;
+        }
+    }
+    return nonzero;
+}
+
+void
+scalarDequantize4x4(int16_t block[16], const int32_t v[16], int scale)
+{
+    for (int i = 0; i < 16; ++i) {
+        // Clamp into int16; encoder and decoder share this exact path, so
+        // reconstruction stays bit-identical even when clamping fires.
+        const int val = (static_cast<int>(block[i]) * v[i]) << scale;
+        block[i] = static_cast<int16_t>(
+            val > 32767 ? 32767 : (val < -32768 ? -32768 : val));
+    }
+}
+
+void
+scalarMcCopy(uint8_t* dst, int dstride, const uint8_t* src, int sstride,
+             int w, int h)
+{
+    for (int y = 0; y < h; ++y) {
+        std::memcpy(dst, src, static_cast<size_t>(w));
+        dst += dstride;
+        src += sstride;
+    }
+}
+
+void
+scalarMcBilinear(uint8_t* dst, int dstride, const uint8_t* src, int sstride,
+                 int w, int h, int fx, int fy)
+{
+    for (int y = 0; y < h; ++y) {
+        const uint8_t* s0 = src + y * sstride;
+        const uint8_t* s1 = s0 + sstride;
+        for (int x = 0; x < w; ++x) {
+            const int p00 = s0[x];
+            const int p10 = s0[x + 1];
+            const int p01 = s1[x];
+            const int p11 = s1[x + 1];
+            dst[y * dstride + x] = static_cast<uint8_t>(
+                ((4 - fx) * (4 - fy) * p00 + fx * (4 - fy) * p10
+                 + (4 - fx) * fy * p01 + fx * fy * p11 + 8)
+                >> 4);
+        }
+    }
+}
+
+void
+scalarAverage(uint8_t* dst, const uint8_t* a, const uint8_t* b, int n)
+{
+    for (int i = 0; i < n; ++i) {
+        dst[i] = static_cast<uint8_t>((a[i] + b[i] + 1) >> 1);
+    }
+}
+
+} // namespace vtrans::codec::strategies
+
+namespace vtrans::codec {
+
+const KernelOps&
+scalarKernels()
+{
+    using namespace strategies;
+    static const KernelOps ops = {
+        "scalar",
+        scalarSadRows,
+        scalarSatd4x4,
+        scalarForwardDct4x4,
+        scalarInverseDct4x4,
+        scalarQuantize4x4,
+        scalarDequantize4x4,
+        scalarMcCopy,
+        scalarMcBilinear,
+        scalarAverage,
+    };
+    return ops;
+}
+
+} // namespace vtrans::codec

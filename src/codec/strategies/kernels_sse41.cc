@@ -1,0 +1,437 @@
+/**
+ * @file
+ * SSE4.1 strategy kernels (PSADBW SAD, 8-lane Hadamard SATD, 32-bit-lane
+ * transform/quant). Compiled with -msse4.1 on x86-64 only and gated at
+ * runtime by __builtin_cpu_supports, so the binary stays runnable on any
+ * x86-64 CPU.
+ *
+ * Exactness notes (the differential suite enforces all of these):
+ *  - SAD: psadbw accumulates |a-b| over unsigned bytes — exactly the
+ *    scalar sum for any input.
+ *  - SATD: all Hadamard intermediates are bounded by 16 x 255 = 4080, so
+ *    16-bit lanes never wrap; the per-lane |.| sum is reduced through
+ *    pmaddwd into 32-bit before it can exceed int16.
+ *  - DCT/quant/dequant: computed in 32-bit lanes like the scalar int
+ *    intermediates; the final int16 narrowing copies the low 16 bits
+ *    (scalar's static_cast wrap), except dequantize where packs_epi32
+ *    saturation IS the scalar clamp.
+ */
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <cstring>
+#include <smmintrin.h>
+
+#include "codec/strategies/kernels_internal.h"
+#include "codec/strategies/strategies.h"
+
+namespace vtrans::codec::strategies {
+
+namespace {
+
+/** Horizontal sum of the two 64-bit psadbw accumulators. */
+inline int
+sadReduce(__m128i acc)
+{
+    return static_cast<int>(_mm_cvtsi128_si32(acc)
+                            + _mm_extract_epi32(acc, 2));
+}
+
+/** Unaligned 4-byte load into lane 0 (strict-aliasing safe). */
+inline __m128i
+load4(const uint8_t* p)
+{
+    int32_t v;
+    std::memcpy(&v, p, 4);
+    return _mm_cvtsi32_si128(v);
+}
+
+/** Unaligned 8-byte load into the low half. */
+inline __m128i
+load8(const uint8_t* p)
+{
+    int64_t v;
+    std::memcpy(&v, p, 8);
+    return _mm_cvtsi64_si128(v);
+}
+
+int
+sadRowsSse41(const uint8_t* cur, int cstride, const uint8_t* ref,
+             int rstride, int w, int rows)
+{
+    __m128i acc = _mm_setzero_si128();
+    if (w == 16) {
+        for (int y = 0; y < rows; ++y) {
+            const __m128i c = _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(cur));
+            const __m128i r = _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(ref));
+            acc = _mm_add_epi64(acc, _mm_sad_epu8(c, r));
+            cur += cstride;
+            ref += rstride;
+        }
+    } else if (w == 8) {
+        for (int y = 0; y < rows; ++y) {
+            acc = _mm_add_epi64(acc,
+                                _mm_sad_epu8(load8(cur), load8(ref)));
+            cur += cstride;
+            ref += rstride;
+        }
+    } else { // w == 4
+        for (int y = 0; y < rows; ++y) {
+            acc = _mm_add_epi64(acc,
+                                _mm_sad_epu8(load4(cur), load4(ref)));
+            cur += cstride;
+            ref += rstride;
+        }
+    }
+    return sadReduce(acc);
+}
+
+/** Swaps the two 64-bit halves. */
+inline __m128i
+swap64(__m128i v)
+{
+    return _mm_shuffle_epi32(v, _MM_SHUFFLE(1, 0, 3, 2));
+}
+
+/**
+ * One 2-stage 4-point butterfly over a 16-bit matrix held as two
+ * row-pair registers x = [r0|r1], y = [r2|r3]: returns [r0+r1 | r0-r1] op
+ * [r2+r3 | r2-r3] combined to [u0+u2 | u1+u3] and [u0-u2 | u1-u3].
+ */
+inline void
+hadamardPairs(__m128i& x, __m128i& y)
+{
+    const __m128i sx = _mm_add_epi16(x, swap64(x)); // [r0+r1 | r1+r0]
+    const __m128i dx = _mm_sub_epi16(x, swap64(x)); // [r0-r1 | r1-r0]
+    const __m128i sy = _mm_add_epi16(y, swap64(y));
+    const __m128i dy = _mm_sub_epi16(y, swap64(y));
+    const __m128i tx = _mm_unpacklo_epi64(sx, dx); // [r0+r1 | r0-r1]
+    const __m128i ty = _mm_unpacklo_epi64(sy, dy); // [r2+r3 | r2-r3]
+    x = _mm_add_epi16(tx, ty);
+    y = _mm_sub_epi16(tx, ty);
+}
+
+int
+satd4x4Sse41(const uint8_t* cur, int cstride, const uint8_t* pred,
+             int pstride)
+{
+    // Row-pair difference registers: d01 = [row0 | row1], d23 = [row2 |
+    // row3], 16-bit lanes.
+    const __m128i c01 = _mm_unpacklo_epi32(load4(cur),
+                                           load4(cur + cstride));
+    const __m128i c23 = _mm_unpacklo_epi32(load4(cur + 2 * cstride),
+                                           load4(cur + 3 * cstride));
+    const __m128i p01 = _mm_unpacklo_epi32(load4(pred),
+                                           load4(pred + pstride));
+    const __m128i p23 = _mm_unpacklo_epi32(load4(pred + 2 * pstride),
+                                           load4(pred + 3 * pstride));
+    const __m128i zero = _mm_setzero_si128();
+    __m128i d01 = _mm_sub_epi16(_mm_unpacklo_epi8(c01, zero),
+                                _mm_unpacklo_epi8(p01, zero));
+    __m128i d23 = _mm_sub_epi16(_mm_unpacklo_epi8(c23, zero),
+                                _mm_unpacklo_epi8(p23, zero));
+
+    // Vertical Hadamard across rows (the scalar column stage; the two
+    // separable stages commute, so any order gives the same matrix).
+    hadamardPairs(d01, d23);
+
+    // Transpose the 4x4 (held as row pairs) into column pairs.
+    const __m128i i02 = _mm_unpacklo_epi16(d01, d23); // rows 0,2 interleave
+    const __m128i i13 = _mm_unpackhi_epi16(d01, d23); // rows 1,3 interleave
+    __m128i t01 = _mm_unpacklo_epi16(i02, i13); // [col0 | col1]
+    __m128i t23 = _mm_unpackhi_epi16(i02, i13); // [col2 | col3]
+
+    // Vertical Hadamard across what were columns (the scalar row stage).
+    hadamardPairs(t01, t23);
+
+    // Sum of |lanes| via pmaddwd (32-bit partial sums; lane values are
+    // bounded by 4080, so the 16-bit |.| never wraps).
+    const __m128i ones = _mm_set1_epi16(1);
+    const __m128i sum =
+        _mm_add_epi32(_mm_madd_epi16(_mm_abs_epi16(t01), ones),
+                      _mm_madd_epi16(_mm_abs_epi16(t23), ones));
+    const __m128i hi = _mm_add_epi32(sum, swap64(sum));
+    const int satd = _mm_cvtsi128_si32(hi)
+                     + _mm_extract_epi32(hi, 1);
+    return (satd + 1) / 2;
+}
+
+/** Loads 4 int16 into 4 int32 lanes. */
+inline __m128i
+load4x32(const int16_t* p)
+{
+    return _mm_cvtepi16_epi32(load8(reinterpret_cast<const uint8_t*>(p)));
+}
+
+/** 4x4 transpose of 32-bit lanes. */
+inline void
+transpose4x32(__m128i& a, __m128i& b, __m128i& c, __m128i& d)
+{
+    const __m128i t0 = _mm_unpacklo_epi32(a, b);
+    const __m128i t1 = _mm_unpackhi_epi32(a, b);
+    const __m128i t2 = _mm_unpacklo_epi32(c, d);
+    const __m128i t3 = _mm_unpackhi_epi32(c, d);
+    a = _mm_unpacklo_epi64(t0, t2);
+    b = _mm_unpackhi_epi64(t0, t2);
+    c = _mm_unpacklo_epi64(t1, t3);
+    d = _mm_unpackhi_epi64(t1, t3);
+}
+
+/** Stores two 4-lane int32 vectors as 8 int16, wrapping like
+ *  static_cast<int16_t> (keep low 16 bits of each lane). */
+inline void
+storeWrap8(int16_t* p, __m128i lo, __m128i hi)
+{
+    const __m128i mask = _mm_setr_epi8(0, 1, 4, 5, 8, 9, 12, 13, -1, -1,
+                                       -1, -1, -1, -1, -1, -1);
+    const __m128i w =
+        _mm_unpacklo_epi64(_mm_shuffle_epi8(lo, mask),
+                           _mm_shuffle_epi8(hi, mask));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p), w);
+}
+
+/** Forward core butterfly on 4 column vectors (lane = row). */
+inline void
+forwardButterfly(__m128i& s0, __m128i& s1, __m128i& s2, __m128i& s3)
+{
+    const __m128i a = _mm_add_epi32(s0, s3);
+    const __m128i b = _mm_add_epi32(s1, s2);
+    const __m128i c = _mm_sub_epi32(s1, s2);
+    const __m128i d = _mm_sub_epi32(s0, s3);
+    s0 = _mm_add_epi32(a, b);
+    s1 = _mm_add_epi32(_mm_add_epi32(d, d), c);
+    s2 = _mm_sub_epi32(a, b);
+    s3 = _mm_sub_epi32(d, _mm_add_epi32(c, c));
+}
+
+void
+forwardDct4x4Sse41(int16_t block[16])
+{
+    __m128i r0 = load4x32(block);
+    __m128i r1 = load4x32(block + 4);
+    __m128i r2 = load4x32(block + 8);
+    __m128i r3 = load4x32(block + 12);
+    // Row stage: transpose so row elements s0..s3 become vertical, then
+    // butterfly lane-wise (each lane is one row).
+    transpose4x32(r0, r1, r2, r3);
+    forwardButterfly(r0, r1, r2, r3);
+    // Column stage: transpose back (vectors = rows of the row-transformed
+    // matrix) and butterfly again.
+    transpose4x32(r0, r1, r2, r3);
+    forwardButterfly(r0, r1, r2, r3);
+    storeWrap8(block, r0, r1);
+    storeWrap8(block + 8, r2, r3);
+}
+
+/** Inverse core butterfly on 4 vectors (>>1 lane-wise via srai). */
+inline void
+inverseButterfly(__m128i& s0, __m128i& s1, __m128i& s2, __m128i& s3)
+{
+    const __m128i a = _mm_add_epi32(s0, s2);
+    const __m128i b = _mm_sub_epi32(s0, s2);
+    const __m128i c = _mm_sub_epi32(_mm_srai_epi32(s1, 1), s3);
+    const __m128i d = _mm_add_epi32(s1, _mm_srai_epi32(s3, 1));
+    s0 = _mm_add_epi32(a, d);
+    s1 = _mm_add_epi32(b, c);
+    s2 = _mm_sub_epi32(b, c);
+    s3 = _mm_sub_epi32(a, d);
+}
+
+void
+inverseDct4x4Sse41(int16_t block[16])
+{
+    __m128i r0 = load4x32(block);
+    __m128i r1 = load4x32(block + 4);
+    __m128i r2 = load4x32(block + 8);
+    __m128i r3 = load4x32(block + 12);
+    transpose4x32(r0, r1, r2, r3);
+    inverseButterfly(r0, r1, r2, r3);
+    transpose4x32(r0, r1, r2, r3);
+    inverseButterfly(r0, r1, r2, r3);
+    // >> 6 with rounding, then wrap to int16 like the scalar cast.
+    const __m128i round = _mm_set1_epi32(32);
+    r0 = _mm_srai_epi32(_mm_add_epi32(r0, round), 6);
+    r1 = _mm_srai_epi32(_mm_add_epi32(r1, round), 6);
+    r2 = _mm_srai_epi32(_mm_add_epi32(r2, round), 6);
+    r3 = _mm_srai_epi32(_mm_add_epi32(r3, round), 6);
+    storeWrap8(block, r0, r1);
+    storeWrap8(block + 8, r2, r3);
+}
+
+int
+quantize4x4Sse41(int16_t block[16], const int32_t mf[16], int32_t f,
+                 int shift)
+{
+    const __m128i vf = _mm_set1_epi32(f);
+    const __m128i vshift = _mm_cvtsi32_si128(shift);
+    int nzmask = 0;
+    for (int i = 0; i < 16; i += 4) {
+        const __m128i coef = load4x32(block + i);
+        const __m128i m = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(mf + i));
+        // level = (|coef| * mf + f) >> shift, then restore the sign.
+        // srl (logical) matches scalar: the shifted value is nonnegative.
+        const __m128i level = _mm_srl_epi32(
+            _mm_add_epi32(_mm_mullo_epi32(_mm_abs_epi32(coef), m), vf),
+            vshift);
+        // sign_epi32 zeroes where coef == 0; level is 0 there anyway
+        // because f < 2^shift.
+        const __m128i signed_level = _mm_sign_epi32(level, coef);
+        // Levels are bounded by (32768 * 13107 + f) >> 15 < 2^15, so
+        // packs_epi32 cannot saturate here.
+        const __m128i packed = _mm_packs_epi32(signed_level, signed_level);
+        _mm_storel_epi64(reinterpret_cast<__m128i*>(block + i), packed);
+        const int zero_lanes = _mm_movemask_ps(_mm_castsi128_ps(
+            _mm_cmpeq_epi32(level, _mm_setzero_si128())));
+        nzmask |= ((~zero_lanes) & 0xf) << i;
+    }
+    return __builtin_popcount(static_cast<unsigned>(nzmask));
+}
+
+void
+dequantize4x4Sse41(int16_t block[16], const int32_t v[16], int scale)
+{
+    const __m128i vscale = _mm_cvtsi32_si128(scale);
+    for (int i = 0; i < 16; i += 8) {
+        const __m128i lo = load4x32(block + i);
+        const __m128i hi = load4x32(block + i + 4);
+        const __m128i vlo = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(v + i));
+        const __m128i vhi = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(v + i + 4));
+        const __m128i plo =
+            _mm_sll_epi32(_mm_mullo_epi32(lo, vlo), vscale);
+        const __m128i phi =
+            _mm_sll_epi32(_mm_mullo_epi32(hi, vhi), vscale);
+        // packs_epi32 saturates into int16 — exactly the scalar clamp.
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(block + i),
+                         _mm_packs_epi32(plo, phi));
+    }
+}
+
+/**
+ * Bilinear row helper: interpolates `w` pixels (w = 4, 8 or 16) of one
+ * output row from source rows s0/s1 with weights (4-fx, fx) x (4-fy, fy).
+ * All intermediates fit 16-bit lanes: h <= 4*255, out <= 4*1020 + 8.
+ */
+inline void
+bilinearRow(uint8_t* dst, const uint8_t* s0, const uint8_t* s1, int w,
+            __m128i wx0, __m128i wx1, __m128i wy0, __m128i wy1)
+{
+    const __m128i zero = _mm_setzero_si128();
+    const __m128i bias = _mm_set1_epi16(8);
+    for (int x = 0; x < w; x += 8) {
+        const int n = w - x >= 8 ? 8 : w - x; // 8 or 4 (w is 4, 8, 16)
+        __m128i a0;
+        __m128i a1;
+        __m128i b0;
+        __m128i b1;
+        if (n == 8) {
+            a0 = _mm_unpacklo_epi8(load8(s0 + x), zero);
+            a1 = _mm_unpacklo_epi8(load8(s0 + x + 1), zero);
+            b0 = _mm_unpacklo_epi8(load8(s1 + x), zero);
+            b1 = _mm_unpacklo_epi8(load8(s1 + x + 1), zero);
+        } else {
+            a0 = _mm_unpacklo_epi8(load4(s0 + x), zero);
+            a1 = _mm_unpacklo_epi8(load4(s0 + x + 1), zero);
+            b0 = _mm_unpacklo_epi8(load4(s1 + x), zero);
+            b1 = _mm_unpacklo_epi8(load4(s1 + x + 1), zero);
+        }
+        const __m128i h0 = _mm_add_epi16(_mm_mullo_epi16(a0, wx0),
+                                         _mm_mullo_epi16(a1, wx1));
+        const __m128i h1 = _mm_add_epi16(_mm_mullo_epi16(b0, wx0),
+                                         _mm_mullo_epi16(b1, wx1));
+        const __m128i out = _mm_srli_epi16(
+            _mm_add_epi16(_mm_add_epi16(_mm_mullo_epi16(h0, wy0),
+                                        _mm_mullo_epi16(h1, wy1)),
+                          bias),
+            4);
+        const __m128i packed = _mm_packus_epi16(out, out);
+        if (n == 8) {
+            _mm_storel_epi64(reinterpret_cast<__m128i*>(dst + x), packed);
+        } else {
+            const int32_t lane0 = _mm_cvtsi128_si32(packed);
+            std::memcpy(dst + x, &lane0, 4);
+        }
+    }
+}
+
+void
+mcBilinearSse41(uint8_t* dst, int dstride, const uint8_t* src, int sstride,
+                int w, int h, int fx, int fy)
+{
+    const __m128i wx0 = _mm_set1_epi16(static_cast<int16_t>(4 - fx));
+    const __m128i wx1 = _mm_set1_epi16(static_cast<int16_t>(fx));
+    const __m128i wy0 = _mm_set1_epi16(static_cast<int16_t>(4 - fy));
+    const __m128i wy1 = _mm_set1_epi16(static_cast<int16_t>(fy));
+    for (int y = 0; y < h; ++y) {
+        bilinearRow(dst + y * dstride, src + y * sstride,
+                    src + (y + 1) * sstride, w, wx0, wx1, wy0, wy1);
+    }
+}
+
+void
+averageSse41(uint8_t* dst, const uint8_t* a, const uint8_t* b, int n)
+{
+    int i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m128i va = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(a + i));
+        const __m128i vb = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(b + i));
+        // pavgb computes (a + b + 1) >> 1 exactly.
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                         _mm_avg_epu8(va, vb));
+    }
+    for (; i < n; ++i) {
+        dst[i] = static_cast<uint8_t>((a[i] + b[i] + 1) >> 1);
+    }
+}
+
+} // namespace
+
+} // namespace vtrans::codec::strategies
+
+namespace vtrans::codec {
+
+const KernelOps*
+sse41Kernels()
+{
+    using namespace strategies;
+    if (!__builtin_cpu_supports("sse4.1")) {
+        return nullptr;
+    }
+    static const KernelOps ops = {
+        "sse41",
+        sadRowsSse41,
+        satd4x4Sse41,
+        forwardDct4x4Sse41,
+        inverseDct4x4Sse41,
+        quantize4x4Sse41,
+        dequantize4x4Sse41,
+        scalarMcCopy, // row memcpy is already optimal
+        mcBilinearSse41,
+        averageSse41,
+    };
+    return &ops;
+}
+
+} // namespace vtrans::codec
+
+#else // !x86-64: no SSE4.1 backend in this build.
+
+#include "codec/strategies/strategies.h"
+
+namespace vtrans::codec {
+
+const KernelOps*
+sse41Kernels()
+{
+    return nullptr;
+}
+
+} // namespace vtrans::codec
+
+#endif

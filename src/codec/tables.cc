@@ -39,6 +39,31 @@ posClass(int raster)
     return 2;
 }
 
+/** kMf/kV expanded to contiguous per-position rows (one row per QP%6),
+ *  so vector quant kernels can load 16 multipliers directly. */
+struct ExpandedQuantTables
+{
+    int32_t mf[6][16];
+    int32_t v[6][16];
+
+    ExpandedQuantTables()
+    {
+        for (int rem = 0; rem < 6; ++rem) {
+            for (int pos = 0; pos < 16; ++pos) {
+                mf[rem][pos] = kMf[rem][posClass(pos)];
+                v[rem][pos] = kV[rem][posClass(pos)];
+            }
+        }
+    }
+};
+
+const ExpandedQuantTables&
+expandedTables()
+{
+    static const ExpandedQuantTables tables;
+    return tables;
+}
+
 } // namespace
 
 const uint8_t kZigzag4x4[16] = {0, 1,  4,  8,  5, 2,  3,  6,
@@ -90,6 +115,20 @@ dequantV(int qp, int pos)
     VT_ASSERT(qp >= 0 && qp < kQpCount, "QP out of range: ", qp);
     VT_ASSERT(pos >= 0 && pos < 16, "position out of range");
     return kV[qp % 6][posClass(pos)];
+}
+
+const int32_t*
+quantMfRow(int qp)
+{
+    VT_ASSERT(qp >= 0 && qp < kQpCount, "QP out of range: ", qp);
+    return expandedTables().mf[qp % 6];
+}
+
+const int32_t*
+dequantVRow(int qp)
+{
+    VT_ASSERT(qp >= 0 && qp < kQpCount, "QP out of range: ", qp);
+    return expandedTables().v[qp % 6];
 }
 
 } // namespace vtrans::codec

@@ -37,6 +37,16 @@ int quantMf(int qp, int pos);
  *  coef = level * v << (qp/6). */
 int dequantV(int qp, int pos);
 
+/**
+ * The full 16-entry forward-quant multiplier row for a QP (raster order).
+ * Same values as quantMf(qp, 0..15), laid out contiguously so vector
+ * kernels can load the whole row (see codec/strategies).
+ */
+const int32_t* quantMfRow(int qp);
+
+/** The full 16-entry dequant multiplier row for a QP (raster order). */
+const int32_t* dequantVRow(int qp);
+
 /** Shift used with quantMf for a QP. */
 inline int
 quantShift(int qp)

@@ -1,0 +1,81 @@
+#ifndef VTRANS_UARCH_SIMDCOST_H_
+#define VTRANS_UARCH_SIMDCOST_H_
+
+/**
+ * @file
+ * Probe-site costs for the opt-in *vector* kernel model
+ * (codec::KernelModel::Vector, --kernel-model vector).
+ *
+ * The default probe sites in pixel.cc / dct.cc describe the scalar
+ * compiled forms of the hot kernels: one basic block per row group with
+ * a static size and instruction count matching -O2 scalar codegen. When
+ * the encoder actually runs a SIMD backend the executed binary looks
+ * different — the same work retires far fewer, wider instructions from
+ * smaller blocks, and loop bodies that processed one row now process
+ * two. The vector model swaps in the alternate sites below so the
+ * simulated frontend (L1i footprint, fetch bandwidth) and retire stream
+ * reflect vectorized codegen; Top-down shifts from Frontend/Retiring
+ * toward Backend.Memory, which is the signature the paper reports for
+ * SIMD-heavy transcode kernels.
+ *
+ * Counts are informed by uops.info latency/throughput tables and by
+ * eyeballing -msse4.1 codegen of the strategy kernels:
+ *  - SAD collapses 4 ops/pixel (2 loads are modelled separately; abs,
+ *    add) to ~3 PSADBW + 2 PADD per 16x2 pixels.
+ *  - SATD 4x4 is ~30 instructions of PUNPCK/PADD/PSUB/PABSW/PMADDWD
+ *    against ~130 scalar.
+ *  - The 4x4 DCT butterflies vectorize column-parallel: 4 adds per
+ *    stage instead of 16.
+ *  - Quant/dequant become PMULLD/PSRLD/PACKSSDW streams.
+ * The numbers are deliberately coarse (this is a layout/footprint model,
+ * not a pipeline trace); what matters is the *ratio* to the scalar
+ * sites, which tracks the measured instruction-count reduction of the
+ * real kernels (see BENCH_kernels.json).
+ *
+ * Sites registered here-from must only be *declared* on the vector-model
+ * path (VT_SITE inside the `if (vectorKernelModel())` branch): sites
+ * register on first execution and registration order defines the default
+ * code layout, so an unconditionally-declared vector site would perturb
+ * default-model fingerprints.
+ */
+
+#include <cstdint>
+
+namespace vtrans::uarch {
+
+/** Static size/instruction cost of one vector-model probe site. */
+struct SimdSiteCost
+{
+    uint32_t bytes;        ///< Static code bytes of the block.
+    uint32_t instructions; ///< Non-memory, non-branch instructions.
+};
+
+/** 8 rows of SAD: PSADBW ladder (vs scalar 104B/16i). */
+inline constexpr SimdSiteCost kVecSadRows8{64, 6};
+
+/** 4 rows of interpolating SAD: bilinear + PSADBW (vs 72B/14i). */
+inline constexpr SimdSiteCost kVecSadSubRows4{48, 6};
+
+/** One 4x4 SATD: packed Hadamard + PMADDWD reduce (vs 128B/26i). */
+inline constexpr SimdSiteCost kVecSatd4x4{72, 9};
+
+/** One *pair* of MC rows: vector MC processes two rows per iteration,
+ *  so the vector model emits one block per two rows (vs 48B/6i per
+ *  single row). */
+inline constexpr SimdSiteCost kVecMcRowPair{40, 5};
+
+/** Forward 4x4 DCT: column-parallel butterflies (vs 160B/40i). */
+inline constexpr SimdSiteCost kVecDctForward{96, 14};
+
+/** Inverse 4x4 DCT (vs 160B/40i). */
+inline constexpr SimdSiteCost kVecDctInverse{96, 14};
+
+/** 4x4 quant: PMULLD/PSRLD/PACKSSDW + nonzero mask (vs 120B/34i). */
+inline constexpr SimdSiteCost kVecQuant{72, 10};
+
+/** 4x4 dequant: PMULLD/PSLLD/PACKSSDW (vs 96B/24i). */
+inline constexpr SimdSiteCost kVecDequant{56, 8};
+
+} // namespace vtrans::uarch
+
+#endif // VTRANS_UARCH_SIMDCOST_H_

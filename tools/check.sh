@@ -8,8 +8,9 @@
 #   tools/check.sh [build-dir]
 #
 # VTRANS_SKIP_TSAN=1 skips the sanitizer pass (e.g. on toolchains
-# without tsan runtime support). VTRANS_SKIP_PERF=1 skips the probe
-# pipeline perf smoke (a Release build + microbenchmark).
+# without tsan runtime support). VTRANS_SKIP_PERF=1 skips the perf
+# smokes (a Release build + the probe-pipeline and kernel
+# microbenchmarks with their speedup gates).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,6 +24,15 @@ cmake --build "$BUILD_DIR" -j
 
 echo "== tests =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "== kernel backends: differential suite scalar + best ISA =="
+# The strategies layer must be bit-identical across backends. Run the
+# differential suite pinned to scalar and again on the best ISA the CPU
+# offers (auto), then the bitstream/fingerprint smoke across every
+# backend in one process.
+VTRANS_KERNEL_ISA=scalar "$BUILD_DIR"/tests/test_kernels
+VTRANS_KERNEL_ISA=auto "$BUILD_DIR"/tests/test_kernels
+"$BUILD_DIR"/bench/microbench_kernels --smoke --calls 2000 --reps 1 --quiet
 
 echo "== farm smoke (+ job-lifecycle trace) =="
 OBS_DIR="$BUILD_DIR/obs-smoke"
@@ -62,6 +72,13 @@ if [[ "${VTRANS_SKIP_PERF:-0}" != 1 ]]; then
     cmake --build "$PERF_DIR" -j --target microbench_probe
     "$PERF_DIR"/bench/microbench_probe --min-speedup 1.5 \
         --out "$PERF_DIR/BENCH_probe.json"
+
+    echo "== kernel perf gate (Release) =="
+    # Vector SAD/SATD must beat scalar by >= 2x (exactness is re-checked
+    # on every measurement). Writes BENCH_kernels.json.
+    cmake --build "$PERF_DIR" -j --target microbench_kernels
+    "$PERF_DIR"/bench/microbench_kernels --min-speedup 2.0 \
+        --out "$PERF_DIR/BENCH_kernels.json"
 fi
 
 if [[ "${VTRANS_SKIP_TSAN:-0}" != 1 ]]; then
