@@ -18,9 +18,11 @@
 #include "common/status.h"
 #include "core/parallel.h"
 #include "core/studies.h"
+#include "obs/diff.h"
 #include "obs/hotspots.h"
 #include "obs/metrics.h"
 #include "obs/spans.h"
+#include "obs/uarch.h"
 #include "trace/probe.h"
 
 namespace vtrans::bench {
@@ -36,6 +38,11 @@ struct BenchOptions
     std::string hotspots_out; ///< Hotspot JSON report path ("" = none).
     std::string trace_out;    ///< Chrome trace JSON path ("" = none).
     bool metrics = false;     ///< Dump the Prometheus exposition.
+
+    bool uarch_report = false;  ///< Print the µarch attribution table.
+    std::string uarch_report_out; ///< Attribution JSON path ("" = none).
+    std::string uarch_baseline; ///< Baseline JSON to diff against.
+    uint64_t phase_window = 0;  ///< Phase sample window (instructions).
 };
 
 /** The tracer wall-time sweep spans land in when --trace-out is set. */
@@ -70,6 +77,15 @@ benchTracer()
  *   --hotspots-out <p> collect + write the hotspot report as JSON
  *   --trace-out <p>   export sweep stage spans as Chrome trace JSON
  *   --metrics         dump the Prometheus-style metrics exposition
+ *   --uarch-report    per-site µarch attribution (cycles/top-down/MPKI
+ *                     per code site); prints the attribution table
+ *   --uarch-report-out <p> write the attribution report as JSON (the
+ *                     format tools/uarch_diff and --uarch-baseline read)
+ *   --uarch-baseline <p> after the run, diff this baseline JSON report
+ *                     against the run's report and print the deltas
+ *   --phase-window <n> sample attributed counters every n retired
+ *                     instructions into "C" counter events on the
+ *                     Chrome trace (use with --trace-out)
  * Default grid: 8x5 (40 points).
  */
 inline BenchOptions
@@ -120,10 +136,23 @@ parseBenchOptions(int argc, char** argv)
     options.hotspots_out = cli.str("hotspots-out", "");
     options.trace_out = cli.str("trace-out", "");
     options.metrics = cli.has("metrics");
+    options.uarch_report = cli.has("uarch-report");
+    options.uarch_report_out = cli.str("uarch-report-out", "");
+    options.uarch_baseline = cli.str("uarch-baseline", "");
+    const int64_t phase = cli.num("phase-window", 0);
+    options.phase_window = phase <= 0 ? 0 : static_cast<uint64_t>(phase);
     if (options.hotspots || !options.hotspots_out.empty()) {
         obs::setHotspotsEnabled(true);
     }
-    if (!options.trace_out.empty()) {
+    if (options.uarch_report || !options.uarch_report_out.empty()
+        || !options.uarch_baseline.empty()) {
+        // Attribution implies hotspot collection: the report needs the
+        // per-site instruction denominators for CPI/MPKI.
+        obs::setUarchAttributionEnabled(true);
+        obs::setHotspotsEnabled(true);
+    }
+    obs::setPhaseWindow(options.phase_window);
+    if (!options.trace_out.empty() || options.phase_window > 0) {
         obs::setGlobalTracer(&benchTracer());
     }
     return options;
@@ -184,6 +213,36 @@ observabilityReport(const BenchOptions& options)
         } else {
             std::printf("chrome trace NOT written (cannot open %s)\n",
                         options.trace_out.c_str());
+        }
+    }
+    if (options.uarch_report) {
+        banner("uarch attribution");
+        std::printf("%s\n", obs::hotspotReport().uarchTable().c_str());
+    }
+    if (!options.uarch_report_out.empty()) {
+        if (obs::hotspotReport().writeJson(options.uarch_report_out)) {
+            std::printf("uarch attribution report: %s\n",
+                        options.uarch_report_out.c_str());
+        } else {
+            std::printf("uarch report NOT written (cannot open %s)\n",
+                        options.uarch_report_out.c_str());
+        }
+    }
+    if (!options.uarch_baseline.empty()) {
+        obs::ReportData baseline;
+        obs::ReportData current;
+        std::string error;
+        if (!obs::loadReport(options.uarch_baseline, &baseline, &error)) {
+            std::printf("uarch baseline NOT loaded (%s)\n", error.c_str());
+        } else if (!obs::parseReport(obs::hotspotReport().toJson(),
+                                     &current, &error)) {
+            std::printf("uarch diff NOT computed (%s)\n", error.c_str());
+        } else {
+            banner("uarch diff vs baseline (this run minus baseline)");
+            std::printf(
+                "%s\n",
+                obs::diffTable(obs::diffReports(baseline, current))
+                    .c_str());
         }
     }
     if (options.metrics) {

@@ -15,19 +15,24 @@
  * an optimization, never a semantic change.
  *
  *   ./build/bench/microbench_probe [--events 4000000] [--reps 3]
- *       [--min-speedup 1.0] [--out BENCH_probe.json]
+ *       [--min-speedup 1.0] [--attr-overhead 0] [--out BENCH_probe.json]
  *       [--e2e] [--e2e-seconds 0.12] [--quiet]
  *
  * --e2e additionally A/Bs two real workloads end to end (per-event vs the
  * default batch capacity), checking fingerprint identity and reporting
  * wall clocks: the fig3 crf x refs sweep on 1 worker, and a farm drain.
- * --out writes the machine-readable BENCH_probe.json consumed by
- * tools/check.sh and quoted in README.md.
+ * --attr-overhead R (0 = off) measures the model sink at the default
+ * batch with per-site attribution on vs off, asserts the CoreStats are
+ * identical (attribution is pure accounting), and fails if the
+ * attributed run is more than R x slower. --out writes the
+ * machine-readable BENCH_probe.json consumed by tools/check.sh and
+ * quoted in README.md.
  *
  * Exits non-zero if any identity check fails, if the batched pipeline's
  * events/sec (count mode, default batch) falls below --min-speedup x the
- * per-event baseline, or if a consumer-bound mode (model/tee) comes out
- * slower than per-event beyond timing noise.
+ * per-event baseline, if attribution overhead exceeds --attr-overhead,
+ * or if a consumer-bound mode (model/tee) comes out slower than
+ * per-event beyond timing noise.
  */
 
 #include <algorithm>
@@ -139,14 +144,16 @@ struct Measurement
 
 Measurement
 runMode(const std::string& sink_kind, uint32_t batch, uint64_t iters,
-        int reps)
+        int reps, bool attribute = false)
 {
     Measurement m;
     m.sink = sink_kind;
     m.batch = batch;
     m.best_seconds = 1e100;
     for (int rep = 0; rep < reps; ++rep) {
-        uarch::CoreModel model(uarch::baselineConfig());
+        uarch::CoreParams params = uarch::baselineConfig();
+        params.attribute_sites = attribute;
+        uarch::CoreModel model(params);
         obs::HotspotProfiler profiler;
         trace::TeeSink tee({&model, &profiler});
         CountingSink counter;
@@ -327,6 +334,7 @@ main(int argc, char** argv)
     const uint64_t iters = std::max<uint64_t>(events / kCallsPerIter, 1);
     const int reps = static_cast<int>(cli.num("reps", 3));
     const double min_speedup = cli.real("min-speedup", 1.0);
+    const double attr_overhead = cli.real("attr-overhead", 0.0);
     const std::string out = cli.str("out", "");
     const bool e2e = cli.has("e2e");
     const double e2e_seconds = cli.real("e2e-seconds", 0.12);
@@ -403,6 +411,26 @@ main(int argc, char** argv)
     std::printf("identity: %s\n", identical ? "OK (bit-identical)"
                                             : "FAILED");
 
+    // --- Optional attribution-overhead gate: the model sink at the
+    // default batch with per-site attribution off vs on. Attribution is
+    // pure accounting, so the CoreStats must not change at all; the
+    // wall-clock slowdown must stay under --attr-overhead.
+    double attr_slowdown = 0.0;
+    if (attr_overhead > 0.0) {
+        const Measurement off =
+            runMode("model", default_batch, iters, reps, false);
+        const Measurement on =
+            runMode("model", default_batch, iters, reps, true);
+        attr_slowdown = off.best_seconds > 0.0
+                            ? on.best_seconds / off.best_seconds
+                            : 0.0;
+        identical &= statsIdentical(on.stats, off.stats,
+                                    "attribution on vs off");
+        std::printf("attribution overhead (model, batch %u): x%.3f "
+                    "(limit x%.3f)\n",
+                    default_batch, attr_slowdown, attr_overhead);
+    }
+
     // --- Optional end-to-end A/B on real workloads.
     E2eResult sweep_e2e;
     E2eResult farm_e2e;
@@ -455,6 +483,12 @@ main(int argc, char** argv)
                      "  \"speedup_at_default\": {\"pipeline\": %.3f, "
                      "\"model\": %.3f, \"tee\": %.3f}",
                      speedup["count"], speedup["model"], speedup["tee"]);
+        if (attr_overhead > 0.0) {
+            std::fprintf(f,
+                         ",\n  \"attribution\": {\"slowdown\": %.3f, "
+                         "\"max_allowed\": %.3f}",
+                         attr_slowdown, attr_overhead);
+        }
         if (e2e) {
             std::fprintf(
                 f,
@@ -477,6 +511,12 @@ main(int argc, char** argv)
     }
 
     if (!identical) {
+        return 1;
+    }
+    if (attr_overhead > 0.0 && attr_slowdown > attr_overhead) {
+        std::fprintf(stderr,
+                     "ATTRIBUTION OVERHEAD FAIL: x%.3f > allowed x%.3f\n",
+                     attr_slowdown, attr_overhead);
         return 1;
     }
     for (const auto& [sink, x] : speedup) {

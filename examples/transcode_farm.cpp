@@ -12,7 +12,15 @@
  *       [--workers 0] [--policy smart|random|round_robin|smart_deadline]
  *       [--queue fifo|priority|edf] [--faults 0.0] [--retries 2]
  *       [--seed 7] [--log runlog.jsonl] [--trace-out trace.json]
- *       [--metrics] [--verbose]
+ *       [--metrics] [--verbose] [--uarch-report]
+ *       [--uarch-report-out uarch.json] [--phase-window N]
+ *
+ * `--uarch-report[-out]` enables per-site µarch attribution across the
+ * farm's worker runs (cycles, Top-down slots, and misses charged to code
+ * sites) and prints/exports the aggregated attribution report;
+ * `--phase-window N` additionally samples the attributed counters every
+ * N retired instructions into counter tracks of the `--trace-out`
+ * Chrome trace.
  *
  * With `--chunked` every request is submitted as a GOP-chunked job graph
  * (split -> parallel chunk encodes -> dependent stitch, see
@@ -30,7 +38,10 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "farm/farm.h"
+#include "obs/hotspots.h"
 #include "obs/metrics.h"
+#include "obs/spans.h"
+#include "obs/uarch.h"
 
 namespace {
 
@@ -123,6 +134,11 @@ runPolicy(const std::vector<farm::JobRequest>& stream,
     options.dispatch = policy;
     options.queue_policy = queue_policy;
     farm::Farm service(options);
+    // Route the workers' phase counter samples (if a --phase-window is
+    // set) onto the same trace the job-lifecycle spans export to.
+    if (obs::phaseWindow() > 0) {
+        obs::setGlobalTracer(&service.tracer());
+    }
     for (const auto& req : stream) {
         if (chunking != nullptr && chunking->enabled()) {
             service.submitChunked(req, *chunking);
@@ -131,6 +147,9 @@ runPolicy(const std::vector<farm::JobRequest>& stream,
         }
     }
     service.drain();
+    if (obs::phaseWindow() > 0) {
+        obs::setGlobalTracer(nullptr);
+    }
     if (print) {
         std::printf("%s\n",
                     service.log().metricsTable(service.fleet())
@@ -199,7 +218,35 @@ main(int argc, char** argv)
     const bool single_policy = cli.has("policy");
     const auto policy =
         farm::dispatchPolicyFromName(cli.str("policy", "smart"));
+    const bool uarch_report = cli.has("uarch-report");
+    const std::string uarch_out = cli.str("uarch-report-out", "");
+    const int64_t phase = cli.num("phase-window", 0);
     farm::Farm::warmupProcess();
+
+    // Enable attribution only after the warm-up so the report covers the
+    // measured service runs, not the cache-priming transcodes.
+    if (uarch_report || !uarch_out.empty()) {
+        obs::setUarchAttributionEnabled(true);
+        obs::setHotspotsEnabled(true);
+        obs::hotspotReport().reset();
+    }
+    obs::setPhaseWindow(phase <= 0 ? 0 : static_cast<uint64_t>(phase));
+
+    auto uarchReport = [&]() {
+        if (uarch_report) {
+            std::printf("\nuarch attribution (all attributed runs):\n%s\n",
+                        obs::hotspotReport().uarchTable().c_str());
+        }
+        if (!uarch_out.empty()) {
+            if (obs::hotspotReport().writeJson(uarch_out)) {
+                std::printf("uarch attribution report: %s\n",
+                            uarch_out.c_str());
+            } else {
+                std::printf("uarch report NOT written (cannot open %s)\n",
+                            uarch_out.c_str());
+            }
+        }
+    };
 
     if (single_policy) {
         // Single-policy mode: full metrics + optional JSONL run log
@@ -208,6 +255,7 @@ main(int argc, char** argv)
         runPolicy(stream, policy, queue_policy, base, true,
                   cli.str("log", ""), cli.str("trace-out", ""),
                   &chunking);
+        uarchReport();
         if (cli.has("metrics")) {
             std::printf("\n%s", obs::metrics().exposition().c_str());
         }
@@ -263,6 +311,7 @@ main(int argc, char** argv)
     std::printf("\nsmart-policy service metrics:\n");
     runPolicy(stream, farm::DispatchPolicy::Smart, queue_policy, base,
               true, cli.str("log", ""), cli.str("trace-out", ""));
+    uarchReport();
     if (cli.has("metrics")) {
         std::printf("\n%s", obs::metrics().exposition().c_str());
     }

@@ -6,10 +6,55 @@
 #include "codec/transcode.h"
 #include "common/status.h"
 #include "obs/hotspots.h"
+#include "obs/spans.h"
+#include "obs/uarch.h"
 #include "trace/probe.h"
 #include "video/vbench.h"
 
 namespace vtrans::core {
+
+namespace {
+
+/** Applies the process-wide obs toggles to a run's core parameters:
+ *  global attribution enables CoreParams::attribute_sites, and a global
+ *  phase window fills in a zero per-run one. */
+uarch::CoreParams
+effectiveCoreParams(const RunConfig& config)
+{
+    uarch::CoreParams params = config.core;
+    params.attribute_sites =
+        params.attribute_sites || obs::uarchAttributionEnabled();
+    if (params.phase_window == 0) {
+        params.phase_window = obs::phaseWindow();
+    }
+    return params;
+}
+
+/** Counter-track label identifying the run in the phase time-series. */
+std::string
+phaseLabel(const RunConfig& config)
+{
+    return config.video + " crf" + std::to_string(config.params.crf) + " r"
+           + std::to_string(config.params.refs);
+}
+
+/** Post-finish() obs export: fold per-site attribution into the global
+ *  report and render phase samples as counter events on the global
+ *  tracer. Must run after finish() — the drain charges cycles. */
+void
+exportModelObservability(const uarch::CoreModel& model,
+                         const RunConfig& config)
+{
+    if (model.attributionEnabled()) {
+        obs::mergeAttribution(&obs::hotspotReport(), model);
+    }
+    if (!model.phaseSamples().empty()) {
+        obs::emitPhaseCounters(obs::globalTracer(), model,
+                               phaseLabel(config));
+    }
+}
+
+} // namespace
 
 const std::vector<uint8_t>&
 mezzanine(const std::string& video, double seconds)
@@ -51,10 +96,13 @@ runInstrumented(const RunConfig& config)
     // When hotspot collection is on, tap the event stream through a tee
     // so the profiler observes exactly what the model accounts; the model
     // stays first in the chain and sees an unchanged stream either way.
-    uarch::CoreModel model(config.core);
+    // µarch attribution implies profiling: the report needs the
+    // profiler's per-site instruction counts as CPI/MPKI denominators.
+    uarch::CoreModel model(effectiveCoreParams(config));
     obs::HotspotProfiler profiler;
     trace::TeeSink tee({&model, &profiler});
-    const bool profiled = obs::hotspotsEnabled();
+    const bool profiled =
+        obs::hotspotsEnabled() || model.attributionEnabled();
     trace::setSink(profiled ? static_cast<trace::ProbeSink*>(&tee)
                             : &model,
                    trace::defaultBatchCapacity());
@@ -67,6 +115,7 @@ runInstrumented(const RunConfig& config)
 
     RunResult result;
     result.core = model.finish();
+    exportModelObservability(model, config);
     result.encode = transcoded.stats;
     result.transcode_seconds = result.core.seconds();
     result.psnr = transcoded.psnr();
@@ -97,10 +146,11 @@ runInstrumentedChunk(
     VT_ASSERT(!slices.empty(), "chunk run with no slices");
     trace::arena().reset();
 
-    uarch::CoreModel model(config.core);
+    uarch::CoreModel model(effectiveCoreParams(config));
     obs::HotspotProfiler profiler;
     trace::TeeSink tee({&model, &profiler});
-    const bool profiled = obs::hotspotsEnabled();
+    const bool profiled =
+        obs::hotspotsEnabled() || model.attributionEnabled();
     trace::setSink(profiled ? static_cast<trace::ProbeSink*>(&tee)
                             : &model,
                    trace::defaultBatchCapacity());
@@ -129,6 +179,7 @@ runInstrumentedChunk(
 
     RunResult result;
     result.core = model.finish();
+    exportModelObservability(model, config);
     result.transcode_seconds = result.core.seconds();
     result.output = std::move(stitched);
 

@@ -162,6 +162,11 @@ class Farm
      */
     const obs::SpanTracer& spans() const { return tracer_; }
 
+    /** Mutable tracer access, so a caller can route additional tracks
+     *  (e.g. the µarch phase counters, via obs::setGlobalTracer) into
+     *  the same exported trace file. */
+    obs::SpanTracer& tracer() { return tracer_; }
+
     /** Writes the job-lifecycle spans as Chrome trace-event JSON
      *  (Perfetto-viewable); false on I/O error. */
     [[nodiscard]] bool writeTrace(const std::string& path) const

@@ -1,0 +1,233 @@
+#include "obs/diff.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/table.h"
+#include "obs/json.h"
+
+namespace vtrans::obs {
+
+namespace {
+
+uint64_t
+fieldU64(const JsonValue& obj, const char* key)
+{
+    // Counters are emitted as integer-valued doubles; missing keys (a
+    // report written before the field existed) read as zero.
+    const double v = obj.numberOr(key, 0.0);
+    return v <= 0.0 ? 0 : static_cast<uint64_t>(v);
+}
+
+SiteCounters
+parseCounters(const JsonValue& obj)
+{
+    SiteCounters c;
+    c.blocks = fieldU64(obj, "blocks");
+    c.instructions = fieldU64(obj, "instructions");
+    c.code_bytes = fieldU64(obj, "code_bytes");
+    c.branches = fieldU64(obj, "branches");
+    c.taken = fieldU64(obj, "taken");
+    c.loads = fieldU64(obj, "loads");
+    c.stores = fieldU64(obj, "stores");
+    c.load_bytes = fieldU64(obj, "load_bytes");
+    c.store_bytes = fieldU64(obj, "store_bytes");
+    c.cycles = fieldU64(obj, "cycles");
+    c.slots_retiring = fieldU64(obj, "slots_retiring");
+    c.slots_frontend = fieldU64(obj, "slots_frontend");
+    c.slots_bad_spec = fieldU64(obj, "slots_bad_spec");
+    c.slots_backend_memory = fieldU64(obj, "slots_backend_memory");
+    c.slots_backend_core = fieldU64(obj, "slots_backend_core");
+    c.branch_mispredicts = fieldU64(obj, "branch_mispredicts");
+    c.l1d_accesses = fieldU64(obj, "l1d_accesses");
+    c.l1d_misses = fieldU64(obj, "l1d_misses");
+    c.l2_misses = fieldU64(obj, "l2_misses");
+    c.l3_misses = fieldU64(obj, "l3_misses");
+    c.l1i_accesses = fieldU64(obj, "l1i_accesses");
+    c.l1i_misses = fieldU64(obj, "l1i_misses");
+    c.itlb_misses = fieldU64(obj, "itlb_misses");
+    c.btb_misses = fieldU64(obj, "btb_misses");
+    return c;
+}
+
+bool
+parseRows(const JsonValue& doc, const char* key,
+          std::vector<HotspotRow>* out, std::string* error)
+{
+    const JsonValue* rows = doc.find(key);
+    if (rows == nullptr || !rows->isArray()) {
+        if (error != nullptr) {
+            *error = std::string("report has no \"") + key + "\" array";
+        }
+        return false;
+    }
+    for (const JsonValue& row : rows->array()) {
+        if (!row.isObject()) {
+            if (error != nullptr) {
+                *error = std::string(key) + " row is not an object";
+            }
+            return false;
+        }
+        out->push_back(
+            HotspotRow{row.strOr("name", ""), parseCounters(row)});
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+parseReport(const std::string& json, ReportData* out, std::string* error)
+{
+    const std::unique_ptr<JsonValue> doc = parseJson(json, error);
+    if (doc == nullptr) {
+        return false;
+    }
+    if (!doc->isObject()) {
+        if (error != nullptr) {
+            *error = "report is not a JSON object";
+        }
+        return false;
+    }
+    const JsonValue* totals = doc->find("totals");
+    if (totals == nullptr || !totals->isObject()) {
+        if (error != nullptr) {
+            *error = "report has no \"totals\" object";
+        }
+        return false;
+    }
+    *out = ReportData{};
+    out->totals = parseCounters(*totals);
+    if (const JsonValue* un = doc->find("unattributed");
+        un != nullptr && un->isObject()) {
+        out->unattributed = parseCounters(*un);
+    }
+    return parseRows(*doc, "by_family", &out->by_family, error)
+           && parseRows(*doc, "by_prefix", &out->by_prefix, error)
+           && parseRows(*doc, "by_site", &out->by_site, error);
+}
+
+bool
+loadReport(const std::string& path, ReportData* out, std::string* error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (error != nullptr) {
+            *error = "cannot open " + path;
+        }
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parseReport(buf.str(), out, error);
+}
+
+namespace {
+
+std::vector<DiffRow>
+diffRows(const std::vector<HotspotRow>& baseline,
+         const std::vector<HotspotRow>& candidate)
+{
+    std::map<std::string, DiffRow> aligned;
+    for (const HotspotRow& row : baseline) {
+        DiffRow& d = aligned[row.name];
+        d.name = row.name;
+        d.baseline.merge(row.counters);
+    }
+    for (const HotspotRow& row : candidate) {
+        DiffRow& d = aligned[row.name];
+        d.name = row.name;
+        d.candidate.merge(row.counters);
+    }
+    std::vector<DiffRow> rows;
+    rows.reserve(aligned.size());
+    for (auto& [name, row] : aligned) {
+        rows.push_back(std::move(row));
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const DiffRow& a, const DiffRow& b) {
+                  const int64_t ac = std::llabs(a.deltaCycles());
+                  const int64_t bc = std::llabs(b.deltaCycles());
+                  if (ac != bc) {
+                      return ac > bc;
+                  }
+                  const int64_t ai = std::llabs(a.deltaInstructions());
+                  const int64_t bi = std::llabs(b.deltaInstructions());
+                  if (ai != bi) {
+                      return ai > bi;
+                  }
+                  return a.name < b.name;
+              });
+    return rows;
+}
+
+void
+appendDiffRows(Table* t, const std::vector<DiffRow>& rows, size_t limit)
+{
+    for (size_t i = 0; i < rows.size() && i < limit; ++i) {
+        const DiffRow& row = rows[i];
+        t->beginRow();
+        t->cell(row.name);
+        t->cell(row.baseline.cycles);
+        t->cell(row.candidate.cycles);
+        t->cell(row.deltaCycles());
+        const double rel =
+            row.baseline.cycles == 0
+                ? 0.0
+                : static_cast<double>(row.deltaCycles())
+                      / static_cast<double>(row.baseline.cycles);
+        t->cell(formatPercent(rel));
+        t->cell(row.deltaInstructions());
+        t->cell(row.baseline.cpi(), 2);
+        t->cell(row.candidate.cpi(), 2);
+    }
+}
+
+} // namespace
+
+ReportDiff
+diffReports(const ReportData& baseline, const ReportData& candidate)
+{
+    ReportDiff diff;
+    diff.totals.name = "totals";
+    diff.totals.baseline = baseline.totals;
+    diff.totals.candidate = candidate.totals;
+    diff.by_family = diffRows(baseline.by_family, candidate.by_family);
+    diff.by_prefix = diffRows(baseline.by_prefix, candidate.by_prefix);
+    diff.by_site = diffRows(baseline.by_site, candidate.by_site);
+    return diff;
+}
+
+std::string
+diffTable(const ReportDiff& diff, size_t limit)
+{
+    std::ostringstream os;
+    os << "totals: cycles " << diff.totals.baseline.cycles << " -> "
+       << diff.totals.candidate.cycles << " ("
+       << (diff.totals.deltaCycles() >= 0 ? "+" : "")
+       << diff.totals.deltaCycles() << "), instructions "
+       << diff.totals.baseline.instructions << " -> "
+       << diff.totals.candidate.instructions << ", CPI "
+       << formatDouble(diff.totals.baseline.cpi(), 3) << " -> "
+       << formatDouble(diff.totals.candidate.cpi(), 3) << "\n\n";
+
+    auto section = [&](const char* title, const char* name_header,
+                       const std::vector<DiffRow>& rows, bool last) {
+        Table t({name_header, "cycles (base)", "cycles (new)", "d-cycles",
+                 "d-rel", "d-instr", "CPI base", "CPI new"});
+        appendDiffRows(&t, rows, limit);
+        os << title << "\n" << t.toText() << (last ? "" : "\n");
+    };
+    section("delta by kernel family", "kernel family", diff.by_family,
+            false);
+    section("delta by site prefix", "site prefix", diff.by_prefix, false);
+    const std::string sites_title =
+        "delta by code site (top " + std::to_string(limit) + ")";
+    section(sites_title.c_str(), "code site", diff.by_site, true);
+    return os.str();
+}
+
+} // namespace vtrans::obs

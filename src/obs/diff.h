@@ -1,0 +1,85 @@
+#ifndef VTRANS_OBS_DIFF_H_
+#define VTRANS_OBS_DIFF_H_
+
+/**
+ * @file
+ * Differential comparison of two exported hotspot/µarch reports
+ * (HotspotReport::toJson documents): load both, align rows by name at
+ * every rollup level, and rank per-site / per-family deltas — the
+ * one-command answer to "where did the AVX2 kernels / preset change /
+ * layout pass win?". Consumed by `tools/uarch_diff` and the benches'
+ * `--uarch-baseline` flag.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/hotspots.h"
+
+namespace vtrans::obs {
+
+/** One loaded report: totals plus the three name-keyed rollups. */
+struct ReportData
+{
+    SiteCounters totals;
+    SiteCounters unattributed;
+    std::vector<HotspotRow> by_family;
+    std::vector<HotspotRow> by_prefix;
+    std::vector<HotspotRow> by_site;
+};
+
+/** Parses a HotspotReport::toJson() document. Reports from before a
+ *  field existed load that field as zero. False + `error` on malformed
+ *  or wrongly-shaped input. */
+bool parseReport(const std::string& json, ReportData* out,
+                 std::string* error);
+
+/** Reads `path` and parses it with parseReport. */
+bool loadReport(const std::string& path, ReportData* out,
+                std::string* error);
+
+/** One aligned row of a differential comparison (candidate minus
+ *  baseline; a row absent on one side compares against all-zero). */
+struct DiffRow
+{
+    std::string name;
+    SiteCounters baseline;
+    SiteCounters candidate;
+
+    int64_t deltaCycles() const
+    {
+        return static_cast<int64_t>(candidate.cycles)
+               - static_cast<int64_t>(baseline.cycles);
+    }
+
+    int64_t deltaInstructions() const
+    {
+        return static_cast<int64_t>(candidate.instructions)
+               - static_cast<int64_t>(baseline.instructions);
+    }
+};
+
+/** A full differential report: totals plus the three rollup levels,
+ *  each sorted by |cycle delta| (then |instruction delta|, then name)
+ *  descending. */
+struct ReportDiff
+{
+    DiffRow totals;
+    std::vector<DiffRow> by_family;
+    std::vector<DiffRow> by_prefix;
+    std::vector<DiffRow> by_site;
+};
+
+/** Aligns `baseline` and `candidate` by row name at every level. */
+ReportDiff diffReports(const ReportData& baseline,
+                       const ReportData& candidate);
+
+/** Text tables (family, prefix, top-`limit` sites) of the deltas:
+ *  cycles and instructions on both sides, the deltas, the relative
+ *  cycle change, and the CPI movement. */
+std::string diffTable(const ReportDiff& diff, size_t limit = 12);
+
+} // namespace vtrans::obs
+
+#endif // VTRANS_OBS_DIFF_H_

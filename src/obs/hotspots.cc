@@ -21,6 +21,129 @@ SiteCounters::merge(const SiteCounters& other)
     stores += other.stores;
     load_bytes += other.load_bytes;
     store_bytes += other.store_bytes;
+    cycles += other.cycles;
+    slots_retiring += other.slots_retiring;
+    slots_frontend += other.slots_frontend;
+    slots_bad_spec += other.slots_bad_spec;
+    slots_backend_memory += other.slots_backend_memory;
+    slots_backend_core += other.slots_backend_core;
+    branch_mispredicts += other.branch_mispredicts;
+    l1d_accesses += other.l1d_accesses;
+    l1d_misses += other.l1d_misses;
+    l2_misses += other.l2_misses;
+    l3_misses += other.l3_misses;
+    l1i_accesses += other.l1i_accesses;
+    l1i_misses += other.l1i_misses;
+    itlb_misses += other.itlb_misses;
+    btb_misses += other.btb_misses;
+}
+
+bool
+SiteCounters::any() const
+{
+    return (blocks | instructions | code_bytes | branches | taken | loads
+            | stores | load_bytes | store_bytes | cycles | slots_retiring
+            | slots_frontend | slots_bad_spec | slots_backend_memory
+            | slots_backend_core | branch_mispredicts | l1d_accesses
+            | l1d_misses | l2_misses | l3_misses | l1i_accesses
+            | l1i_misses | itlb_misses | btb_misses)
+           != 0;
+}
+
+namespace {
+
+double
+perKiloInstructions(uint64_t events, uint64_t instructions)
+{
+    return instructions == 0
+               ? 0.0
+               : 1000.0 * static_cast<double>(events)
+                     / static_cast<double>(instructions);
+}
+
+double
+slotShare(uint64_t slots, uint64_t total)
+{
+    return total == 0 ? 0.0
+                      : static_cast<double>(slots)
+                            / static_cast<double>(total);
+}
+
+} // namespace
+
+double
+SiteCounters::cpi() const
+{
+    return instructions == 0 ? 0.0
+                             : static_cast<double>(cycles)
+                                   / static_cast<double>(instructions);
+}
+
+uint64_t
+SiteCounters::slotsTotal() const
+{
+    return slots_retiring + slots_frontend + slots_bad_spec
+           + slots_backend_memory + slots_backend_core;
+}
+
+double
+SiteCounters::retiringShare() const
+{
+    return slotShare(slots_retiring, slotsTotal());
+}
+
+double
+SiteCounters::frontendShare() const
+{
+    return slotShare(slots_frontend, slotsTotal());
+}
+
+double
+SiteCounters::badSpecShare() const
+{
+    return slotShare(slots_bad_spec, slotsTotal());
+}
+
+double
+SiteCounters::backendMemoryShare() const
+{
+    return slotShare(slots_backend_memory, slotsTotal());
+}
+
+double
+SiteCounters::backendCoreShare() const
+{
+    return slotShare(slots_backend_core, slotsTotal());
+}
+
+double
+SiteCounters::branchMpki() const
+{
+    return perKiloInstructions(branch_mispredicts, instructions);
+}
+
+double
+SiteCounters::l1dMpki() const
+{
+    return perKiloInstructions(l1d_misses, instructions);
+}
+
+double
+SiteCounters::l2Mpki() const
+{
+    return perKiloInstructions(l2_misses, instructions);
+}
+
+double
+SiteCounters::l3Mpki() const
+{
+    return perKiloInstructions(l3_misses, instructions);
+}
+
+double
+SiteCounters::l1iMpki() const
+{
+    return perKiloInstructions(l1i_misses, instructions);
 }
 
 SiteCounters&
@@ -215,6 +338,55 @@ appendRows(Table* t, const std::vector<HotspotRow>& rows, size_t limit,
         t->cell(row.counters.branches);
         t->cell(row.counters.loads);
         t->cell(row.counters.stores);
+        t->cell(row.counters.load_bytes);
+        t->cell(row.counters.store_bytes);
+    }
+}
+
+/** Rows re-sorted by cycles descending (instructions, then name, break
+ *  ties) for the µarch attribution view. */
+std::vector<HotspotRow>
+sortedByCycles(std::vector<HotspotRow> rows)
+{
+    std::sort(rows.begin(), rows.end(),
+              [](const HotspotRow& a, const HotspotRow& b) {
+                  if (a.counters.cycles != b.counters.cycles) {
+                      return a.counters.cycles > b.counters.cycles;
+                  }
+                  if (a.counters.instructions != b.counters.instructions) {
+                      return a.counters.instructions >
+                             b.counters.instructions;
+                  }
+                  return a.name < b.name;
+              });
+    return rows;
+}
+
+void
+appendUarchRows(Table* t, const std::vector<HotspotRow>& rows, size_t limit,
+                uint64_t total_cycles)
+{
+    for (size_t i = 0; i < rows.size() && i < limit; ++i) {
+        const SiteCounters& c = rows[i].counters;
+        t->beginRow();
+        t->cell(rows[i].name);
+        t->cell(c.cycles);
+        const double share =
+            total_cycles == 0 ? 0.0
+                              : static_cast<double>(c.cycles)
+                                    / static_cast<double>(total_cycles);
+        t->cell(formatPercent(share));
+        t->cell(c.cpi(), 2);
+        t->cell(formatPercent(c.retiringShare()));
+        t->cell(formatPercent(c.frontendShare()));
+        t->cell(formatPercent(c.badSpecShare()));
+        t->cell(formatPercent(c.backendMemoryShare()));
+        t->cell(formatPercent(c.backendCoreShare()));
+        t->cell(c.branchMpki(), 2);
+        t->cell(c.l1dMpki(), 2);
+        t->cell(c.l2Mpki(), 2);
+        t->cell(c.l3Mpki(), 2);
+        t->cell(c.l1iMpki(), 2);
     }
 }
 
@@ -226,7 +398,22 @@ appendCountersJson(std::ostringstream* os, const SiteCounters& c)
         << ",\"branches\":" << c.branches << ",\"taken\":" << c.taken
         << ",\"loads\":" << c.loads << ",\"stores\":" << c.stores
         << ",\"load_bytes\":" << c.load_bytes
-        << ",\"store_bytes\":" << c.store_bytes;
+        << ",\"store_bytes\":" << c.store_bytes
+        << ",\"cycles\":" << c.cycles
+        << ",\"slots_retiring\":" << c.slots_retiring
+        << ",\"slots_frontend\":" << c.slots_frontend
+        << ",\"slots_bad_spec\":" << c.slots_bad_spec
+        << ",\"slots_backend_memory\":" << c.slots_backend_memory
+        << ",\"slots_backend_core\":" << c.slots_backend_core
+        << ",\"branch_mispredicts\":" << c.branch_mispredicts
+        << ",\"l1d_accesses\":" << c.l1d_accesses
+        << ",\"l1d_misses\":" << c.l1d_misses
+        << ",\"l2_misses\":" << c.l2_misses
+        << ",\"l3_misses\":" << c.l3_misses
+        << ",\"l1i_accesses\":" << c.l1i_accesses
+        << ",\"l1i_misses\":" << c.l1i_misses
+        << ",\"itlb_misses\":" << c.itlb_misses
+        << ",\"btb_misses\":" << c.btb_misses;
 }
 
 void
@@ -250,17 +437,23 @@ appendRowsJson(std::ostringstream* os, const char* key,
 void
 HotspotReport::merge(const HotspotProfiler& profiler)
 {
+    mergeBySiteId(profiler.perSite(), profiler.unattributed());
+}
+
+void
+HotspotReport::mergeBySiteId(const std::vector<SiteCounters>& per_site,
+                             const SiteCounters& unattributed)
+{
     const auto& sites = trace::registry().sites();
     std::lock_guard<std::mutex> lock(mu_);
-    const std::vector<SiteCounters>& per_site = profiler.perSite();
     for (size_t id = 0; id < per_site.size() && id < sites.size(); ++id) {
         const SiteCounters& c = per_site[id];
-        if (c.blocks == 0 && c.instructions == 0) {
+        if (!c.any()) {
             continue;
         }
         by_name_[sites[id]->name].merge(c);
     }
-    unattributed_.merge(profiler.unattributed());
+    unattributed_.merge(unattributed);
 }
 
 std::map<std::string, SiteCounters>
@@ -322,19 +515,48 @@ HotspotReport::table(size_t limit) const
     std::ostringstream os;
 
     Table families({"kernel family", "instructions", "share", "blocks",
-                    "branches", "loads", "stores"});
+                    "branches", "loads", "stores", "ld bytes", "st bytes"});
     appendRows(&families, byFamily(), limit, total.instructions);
     os << "hotspots by kernel family\n" << families.toText() << "\n";
 
     Table prefixes({"site prefix", "instructions", "share", "blocks",
-                    "branches", "loads", "stores"});
+                    "branches", "loads", "stores", "ld bytes", "st bytes"});
     appendRows(&prefixes, byPrefix(), limit, total.instructions);
     os << "hotspots by site prefix\n" << prefixes.toText() << "\n";
 
     Table sites({"code site", "instructions", "share", "blocks", "branches",
-                 "loads", "stores"});
+                 "loads", "stores", "ld bytes", "st bytes"});
     appendRows(&sites, bySite(), limit, total.instructions);
     os << "hotspots by code site (top " << limit << ")\n" << sites.toText();
+    return os.str();
+}
+
+std::string
+HotspotReport::uarchTable(size_t limit) const
+{
+    const SiteCounters total = totals();
+    std::ostringstream os;
+    const std::vector<std::string> headers = {
+        "", "cycles", "share", "CPI", "retire", "frontend", "bad spec",
+        "be-mem", "be-core", "brMPKI", "l1dMPKI", "l2MPKI", "l3MPKI",
+        "l1iMPKI"};
+
+    auto section = [&](const char* title, const char* name_header,
+                       std::vector<HotspotRow> rows, bool last) {
+        std::vector<std::string> h = headers;
+        h[0] = name_header;
+        Table t(h);
+        appendUarchRows(&t, sortedByCycles(std::move(rows)), limit,
+                        total.cycles);
+        os << title << "\n" << t.toText() << (last ? "" : "\n");
+    };
+    section("uarch attribution by kernel family", "kernel family",
+            byFamily(), false);
+    section("uarch attribution by site prefix", "site prefix", byPrefix(),
+            false);
+    const std::string sites_title =
+        "uarch attribution by code site (top " + std::to_string(limit) + ")";
+    section(sites_title.c_str(), "code site", bySite(), true);
     return os.str();
 }
 

@@ -41,7 +41,45 @@ struct SiteCounters
     uint64_t load_bytes = 0;   ///< Bytes loaded.
     uint64_t store_bytes = 0;  ///< Bytes stored.
 
+    // µarch attribution, filled only from uarch::CoreModel per-site
+    // accounting (CoreParams::attribute_sites); all zero on
+    // instruction-profiler-only runs. The model also tallies branches
+    // per site, but that field is NOT copied here — the instruction
+    // profiler merged alongside already counts the identical value.
+    uint64_t cycles = 0;               ///< Core cycles charged to the site.
+    uint64_t slots_retiring = 0;       ///< Dispatch slots, Top-down class.
+    uint64_t slots_frontend = 0;
+    uint64_t slots_bad_spec = 0;
+    uint64_t slots_backend_memory = 0;
+    uint64_t slots_backend_core = 0;
+    uint64_t branch_mispredicts = 0;
+    uint64_t l1d_accesses = 0;
+    uint64_t l1d_misses = 0;
+    uint64_t l2_misses = 0;
+    uint64_t l3_misses = 0;
+    uint64_t l1i_accesses = 0;
+    uint64_t l1i_misses = 0;
+    uint64_t itlb_misses = 0;
+    uint64_t btb_misses = 0;
+
     void merge(const SiteCounters& other);
+
+    /** True when any field (event or µarch) is non-zero. */
+    bool any() const;
+
+    // Derived per-site metrics (0 when the inputs are missing).
+    double cpi() const;           ///< cycles / instructions.
+    uint64_t slotsTotal() const;  ///< Sum of the five slot classes.
+    double retiringShare() const;
+    double frontendShare() const;
+    double badSpecShare() const;
+    double backendMemoryShare() const;
+    double backendCoreShare() const;
+    double branchMpki() const;    ///< Mispredicts per kilo-instruction.
+    double l1dMpki() const;
+    double l2Mpki() const;
+    double l3Mpki() const;
+    double l1iMpki() const;
 };
 
 /**
@@ -118,6 +156,13 @@ class HotspotReport
     /** Accumulates one finished profiler's tallies (thread-safe). */
     void merge(const HotspotProfiler& profiler);
 
+    /** Accumulates per-site counter deltas keyed by registry site id,
+     *  plus an unattributed bucket (thread-safe). This is the bridge the
+     *  µarch attribution merge uses (obs/uarch.h); rows that are all
+     *  zero are skipped. */
+    void mergeBySiteId(const std::vector<SiteCounters>& per_site,
+                       const SiteCounters& unattributed);
+
     /** Per-site rows sorted by instructions, descending. */
     std::vector<HotspotRow> bySite() const;
 
@@ -138,6 +183,13 @@ class HotspotReport
      *  rollup level (family, prefix, leaf site), with instruction
      *  percentages against the grand total. */
     std::string table(size_t limit = 10) const;
+
+    /** VTune-style µarch attribution table: cycles, CPI, the five
+     *  Top-down slot shares, and MPKIs per row, sorted by cycles
+     *  descending — the paper's "hotspot function × µarch signature"
+     *  view. Meaningful only after a run with per-site attribution
+     *  (uarch::CoreParams::attribute_sites) has been merged. */
+    std::string uarchTable(size_t limit = 10) const;
 
     /** The full report as a JSON document (totals + all three rollups). */
     std::string toJson() const;

@@ -11,12 +11,29 @@ void
 Histogram::observe(double value)
 {
     std::lock_guard<std::mutex> lock(mu_);
-    samples_.push_back(value);
+    ++count_;
     sum_ += value;
+    if (samples_.size() < kMaxSamples) {
+        samples_.push_back(value);
+        return;
+    }
+    // Algorithm R: replace a random slot with probability cap/count, so
+    // every observation so far is retained with equal probability.
+    const uint64_t slot = rng_.below(count_);
+    if (slot < kMaxSamples) {
+        samples_[slot] = value;
+    }
 }
 
 uint64_t
 Histogram::count() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+}
+
+size_t
+Histogram::retained() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return samples_.size();

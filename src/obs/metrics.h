@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
+
 namespace vtrans::obs {
 
 /** A monotonically increasing counter (lock-free increments). */
@@ -63,29 +65,43 @@ class Gauge
 /**
  * A histogram of double observations, summarised on exposition as
  * Prometheus summary quantiles (p50/p90/p99 via vtrans::percentile)
- * plus `_sum` and `_count`. Observations are retained, not bucketed:
- * sample counts here are per-job / per-sweep-point, far below the
- * scale where retention matters, and retention gives exact percentiles
- * consistent with farm::RunLog.
+ * plus `_sum` and `_count`.
+ *
+ * Memory is bounded: the first kMaxSamples observations are retained
+ * exactly (exact percentiles, consistent with farm::RunLog); past the
+ * cap, a deterministic uniform reservoir (Vitter's algorithm R driven
+ * by a fixed-seed vtrans::Rng) keeps every observation equally likely
+ * to be retained, so percentiles become unbiased estimates while
+ * count() and sum() stay exact. A long-running farm service can
+ * therefore observe() forever without growing.
  */
 class Histogram
 {
   public:
+    /** Retention cap: exact percentiles up to here, reservoir beyond. */
+    static constexpr size_t kMaxSamples = 4096;
+
     void observe(double value);
 
-    /** Number of observations so far. */
+    /** Number of observations so far (exact, never capped). */
     uint64_t count() const;
 
-    /** Sum of all observations. */
+    /** Sum of all observations (exact, never capped). */
     double sum() const;
 
-    /** The p-th percentile (0..100) of observations so far; 0 if none. */
+    /** The p-th percentile (0..100) of retained observations; 0 if
+     *  none. Exact while count() <= kMaxSamples, estimated after. */
     double percentile(double p) const;
+
+    /** Observations currently retained: min(count(), kMaxSamples). */
+    size_t retained() const;
 
   private:
     mutable std::mutex mu_;
     std::vector<double> samples_;
     double sum_ = 0.0;
+    uint64_t count_ = 0;
+    Rng rng_{0x8157065a3ull}; ///< Fixed seed: deterministic reservoir.
 };
 
 /**

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -18,6 +19,14 @@ SpanTracer::recordComplete(Span span)
 void
 SpanTracer::recordEvent(Span span)
 {
+    std::lock_guard<std::mutex> lock(mu_);
+    bufferLocked().push_back(std::move(span));
+}
+
+void
+SpanTracer::recordCounter(Span span)
+{
+    span.kind = Span::Kind::Counter;
     std::lock_guard<std::mutex> lock(mu_);
     bufferLocked().push_back(std::move(span));
 }
@@ -96,6 +105,7 @@ appendSpanJson(std::ostringstream* os, const Span& span)
     case Span::Kind::AsyncBegin: ph = "b"; break;
     case Span::Kind::AsyncEnd: ph = "e"; break;
     case Span::Kind::Instant: ph = "i"; break;
+    case Span::Kind::Counter: ph = "C"; break;
     }
     *os << "{\"ph\":\"" << ph << "\",\"cat\":\"";
     appendEscaped(os, span.category);
@@ -114,14 +124,26 @@ appendSpanJson(std::ostringstream* os, const Span& span)
         *os << ",\"s\":\"t\"";
     }
     *os << ",\"args\":{";
-    for (size_t i = 0; i < span.args.size(); ++i) {
-        if (i > 0) {
+    bool first_arg = true;
+    for (const auto& [key, value] : span.values) {
+        if (!first_arg) {
             *os << ",";
         }
+        first_arg = false;
         *os << "\"";
-        appendEscaped(os, span.args[i].first);
+        appendEscaped(os, key);
+        // Non-finite doubles are not representable in JSON.
+        *os << "\":" << (std::isfinite(value) ? value : 0.0);
+    }
+    for (const auto& [key, value] : span.args) {
+        if (!first_arg) {
+            *os << ",";
+        }
+        first_arg = false;
+        *os << "\"";
+        appendEscaped(os, key);
         *os << "\":\"";
-        appendEscaped(os, span.args[i].second);
+        appendEscaped(os, value);
         *os << "\"";
     }
     *os << "}}";

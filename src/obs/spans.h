@@ -34,6 +34,7 @@ struct Span
         AsyncBegin, ///< "b": start of an async interval, paired by id.
         AsyncEnd,   ///< "e": end of an async interval, paired by id.
         Instant,    ///< "i": a point marker.
+        Counter,    ///< "C": a counter sample; `values` plot as series.
     };
 
     Kind kind = Kind::Complete;
@@ -46,6 +47,11 @@ struct Span
     double dur_us = 0.0;  ///< Duration, microseconds (Complete only).
     /** String key/value annotations, rendered into the event's "args". */
     std::vector<std::pair<std::string, std::string>> args;
+    /** Numeric annotations, rendered into "args" as numbers. For a
+     *  Counter event each entry is one stacked series on the counter
+     *  track (the Chrome trace-event "C" phase plots every numeric arg);
+     *  non-finite values are clamped to 0 to keep the JSON valid. */
+    std::vector<std::pair<std::string, double>> values;
 };
 
 /**
@@ -65,6 +71,10 @@ class SpanTracer
 
     /** Records a "b"/"e" async pair endpoint or an "i" marker. */
     void recordEvent(Span span);
+
+    /** Records a "C" counter sample: `values` become the plotted series
+     *  on the (pid, tid, name) counter track at ts_us. */
+    void recordCounter(Span span);
 
     /** Names a (pid, tid) track in the exported trace. */
     void setTrackName(int64_t pid, int64_t tid, const std::string& name);

@@ -106,6 +106,29 @@ CoreStats::anyResourceStallsPki() const
         instructions);
 }
 
+// ---- SiteUarch -------------------------------------------------------------
+
+void
+SiteUarch::add(const SiteUarch& other)
+{
+    cycles += other.cycles;
+    slots_retiring += other.slots_retiring;
+    slots_frontend += other.slots_frontend;
+    slots_bad_spec += other.slots_bad_spec;
+    slots_backend_memory += other.slots_backend_memory;
+    slots_backend_core += other.slots_backend_core;
+    branches += other.branches;
+    branch_mispredicts += other.branch_mispredicts;
+    l1d_accesses += other.l1d_accesses;
+    l1d_misses += other.l1d_misses;
+    l2_misses += other.l2_misses;
+    l3_misses += other.l3_misses;
+    l1i_accesses += other.l1i_accesses;
+    l1i_misses += other.l1i_misses;
+    itlb_misses += other.itlb_misses;
+    btb_misses += other.btb_misses;
+}
+
 // ---- CoreModel -------------------------------------------------------------
 
 CoreModel::CoreModel(const CoreParams& params)
@@ -124,6 +147,42 @@ CoreModel::CoreModel(const CoreParams& params)
               "invalid core parameters");
     stats_.width = params_.width;
     stats_.freq_ghz = params_.freq_ghz;
+    if (params_.attribute_sites) {
+        attr_cur_ = &attr_unattributed_;
+    }
+    if (params_.phase_window > 0) {
+        next_phase_ = params_.phase_window;
+    }
+}
+
+SiteUarch&
+CoreModel::attrAt(uint32_t site_id)
+{
+    if (site_id >= attr_sites_.size()) {
+        attr_sites_.resize(site_id + 1);
+    }
+    return attr_sites_[site_id];
+}
+
+void
+CoreModel::capturePhase()
+{
+    PhaseSample s;
+    s.instructions = stats_.instructions;
+    s.cycles = cur_cycle_;
+    s.slots_retiring = stats_.slots_retiring;
+    s.slots_frontend = stats_.slots_frontend;
+    s.slots_bad_spec = stats_.slots_bad_spec;
+    s.slots_backend_memory = stats_.slots_backend_memory;
+    s.slots_backend_core = stats_.slots_backend_core;
+    s.branches = stats_.branches;
+    s.branch_mispredicts = stats_.branch_mispredicts;
+    s.l1d_misses = stats_.l1d_misses;
+    s.l2_misses = stats_.l2_misses;
+    s.l3_misses = stats_.l3_misses;
+    s.l1i_misses = stats_.l1i_misses;
+    phase_.push_back(s);
+    next_phase_ += params_.phase_window;
 }
 
 void
@@ -147,6 +206,23 @@ CoreModel::advanceTo(uint64_t target_cycle, StallCause cause)
       case StallCause::BackendCore:
         stats_.slots_backend_core += empty;
         break;
+    }
+    if (attr_cur_ != nullptr) {
+        attr_cur_->cycles += target_cycle - cur_cycle_;
+        switch (cause) {
+          case StallCause::Frontend:
+            attr_cur_->slots_frontend += empty;
+            break;
+          case StallCause::BadSpeculation:
+            attr_cur_->slots_bad_spec += empty;
+            break;
+          case StallCause::BackendMemory:
+            attr_cur_->slots_backend_memory += empty;
+            break;
+          case StallCause::BackendCore:
+            attr_cur_->slots_backend_core += empty;
+            break;
+        }
     }
     cur_cycle_ = target_cycle;
     slots_in_cycle_ = 0;
@@ -172,20 +248,54 @@ CoreModel::drain()
 void
 CoreModel::dispatch(uint32_t count)
 {
+    if (attr_cur_ == nullptr && next_phase_ == UINT64_MAX) {
+        // Hot path: attribution and phase sampling are both off. This
+        // loop must stay free of observability loads/branches — it runs
+        // once per retired instruction and dominates model throughput.
+        for (uint32_t i = 0; i < count; ++i) {
+            // Frontend availability gates dispatch.
+            if (fetch_ready_ > cur_cycle_) {
+                advanceTo(fetch_ready_, fetch_reason_);
+                drain();
+            }
+            ++stats_.slots_retiring;
+            ++stats_.instructions;
+            ++slots_in_cycle_;
+            if (slots_in_cycle_ == static_cast<uint32_t>(params_.width)) {
+                ++cur_cycle_;
+                slots_in_cycle_ = 0;
+                drain();
+            }
+        }
+        return;
+    }
+    // Instrumented path. The attribution bucket cannot change inside
+    // dispatch (only the block/branch probes retarget attr_cur_), so the
+    // per-site retiring-slot and cycle charges accumulate in locals and
+    // post once after the loop; only the phase check stays per
+    // instruction so samples land on window boundaries.
+    uint64_t cycles_rolled = 0;
     for (uint32_t i = 0; i < count; ++i) {
-        // Frontend availability gates dispatch.
         if (fetch_ready_ > cur_cycle_) {
             advanceTo(fetch_ready_, fetch_reason_);
             drain();
         }
         ++stats_.slots_retiring;
         ++stats_.instructions;
+        if (stats_.instructions >= next_phase_) {
+            capturePhase();
+        }
         ++slots_in_cycle_;
         if (slots_in_cycle_ == static_cast<uint32_t>(params_.width)) {
             ++cur_cycle_;
             slots_in_cycle_ = 0;
+            ++cycles_rolled;
             drain();
         }
+    }
+    if (attr_cur_ != nullptr) {
+        attr_cur_->slots_retiring += count;
+        attr_cur_->cycles += cycles_rolled;
     }
 }
 
@@ -295,6 +405,9 @@ CoreModel::resolveFrontend()
 void
 CoreModel::onBlock(const trace::CodeSite& site)
 {
+    if (attr_cur_ != nullptr) {
+        attr_cur_ = &attrAt(site.id);
+    }
     // Frontend: fetch the block's cache lines through L1i and the iTLB.
     const uint32_t line = params_.l1i.line_bytes;
     const uint64_t first = site.address / line;
@@ -303,8 +416,14 @@ CoreModel::onBlock(const trace::CodeSite& site)
     for (uint64_t l = first; l <= last; ++l) {
         ++stats_.l1i_accesses;
         const AccessResult r = caches_.fetchAccess(l * line);
+        if (attr_cur_ != nullptr) {
+            ++attr_cur_->l1i_accesses;
+        }
         if (r.l1_miss) {
             ++stats_.l1i_misses;
+            if (attr_cur_ != nullptr) {
+                ++attr_cur_->l1i_misses;
+            }
             fetch_penalty =
                 std::max(fetch_penalty,
                          r.latency - params_.latencies.l1);
@@ -312,6 +431,9 @@ CoreModel::onBlock(const trace::CodeSite& site)
     }
     if (!itlb_.access(site.address)) {
         ++stats_.itlb_misses;
+        if (attr_cur_ != nullptr) {
+            ++attr_cur_->itlb_misses;
+        }
         fetch_penalty += params_.latencies.itlb_miss;
     }
     if (fetch_penalty > 0) {
@@ -352,6 +474,10 @@ CoreModel::onBlock(const trace::CodeSite& site)
 void
 CoreModel::onBranch(const trace::CodeSite& site, bool taken)
 {
+    if (attr_cur_ != nullptr) {
+        attr_cur_ = &attrAt(site.id);
+        ++attr_cur_->branches;
+    }
     ++stats_.branches;
     const bool predicted = predictor_->predict(site.address);
     predictor_->update(site.address, taken);
@@ -374,6 +500,9 @@ CoreModel::onBranch(const trace::CodeSite& site, bool taken)
 
     if (predicted != taken) {
         ++stats_.branch_mispredicts;
+        if (attr_cur_ != nullptr) {
+            ++attr_cur_->branch_mispredicts;
+        }
         const uint64_t ready =
             resolve + static_cast<uint64_t>(params_.mispredict_penalty);
         if (ready > fetch_ready_) {
@@ -385,6 +514,9 @@ CoreModel::onBranch(const trace::CodeSite& site, bool taken)
         const bool btb_hit = btb_.access(site.address);
         if (!btb_hit) {
             ++stats_.btb_misses;
+            if (attr_cur_ != nullptr) {
+                ++attr_cur_->btb_misses;
+            }
         }
         const int bubble =
             btb_hit ? params_.taken_bubble : params_.btb_miss_penalty;
@@ -409,6 +541,12 @@ CoreModel::onLoad(uint64_t addr, uint32_t bytes)
     for (uint64_t l = first; l <= last; ++l) {
         ++stats_.l1d_accesses;
         const AccessResult r = caches_.dataAccess(l * line);
+        if (attr_cur_ != nullptr) {
+            ++attr_cur_->l1d_accesses;
+            attr_cur_->l1d_misses += r.l1_miss ? 1 : 0;
+            attr_cur_->l2_misses += r.l2_miss ? 1 : 0;
+            attr_cur_->l3_misses += r.l3_miss ? 1 : 0;
+        }
         if (r.l1_miss) {
             ++stats_.l1d_misses;
         }
@@ -457,6 +595,12 @@ CoreModel::onStore(uint64_t addr, uint32_t bytes)
     for (uint64_t l = first; l <= last; ++l) {
         ++stats_.l1d_accesses;
         const AccessResult r = caches_.dataAccess(l * line); // write-alloc
+        if (attr_cur_ != nullptr) {
+            ++attr_cur_->l1d_accesses;
+            attr_cur_->l1d_misses += r.l1_miss ? 1 : 0;
+            attr_cur_->l2_misses += r.l2_miss ? 1 : 0;
+            attr_cur_->l3_misses += r.l3_miss ? 1 : 0;
+        }
         if (r.l1_miss) {
             ++stats_.l1d_misses;
         }
@@ -534,6 +678,10 @@ CoreModel::finish()
     if (slots_in_cycle_ > 0) {
         // Fill the partial cycle's leftover slots as backend-core.
         stats_.slots_backend_core += params_.width - slots_in_cycle_;
+        if (attr_cur_ != nullptr) {
+            attr_cur_->slots_backend_core += params_.width - slots_in_cycle_;
+            ++attr_cur_->cycles;
+        }
         ++cur_cycle_;
         slots_in_cycle_ = 0;
     }
@@ -542,6 +690,12 @@ CoreModel::finish()
     stats_.cycles = cur_cycle_;
     stats_.slots_total =
         stats_.cycles * static_cast<uint64_t>(params_.width);
+    if (next_phase_ != UINT64_MAX
+        && (phase_.empty() || phase_.back().instructions != stats_.instructions
+            || phase_.back().cycles != stats_.cycles)) {
+        // Close the time-series with the post-drain totals.
+        capturePhase();
+    }
     return stats_;
 }
 

@@ -59,6 +59,62 @@ struct CoreParams
 
     // Branch prediction.
     std::string predictor = "pentium_m";
+
+    // Observability (pure accounting; never changes timing, event
+    // handling order, or any CoreStats value).
+    bool attribute_sites = false; ///< Charge cycles/slots/misses to the
+                                  ///< current trace::CodeSite.
+    uint64_t phase_window = 0;    ///< Cumulative-counter snapshot every N
+                                  ///< retired instructions (0 = off).
+};
+
+/**
+ * Per-site µarch tallies, filled only when CoreParams::attribute_sites
+ * is on. Every charge mirrors the exact CoreStats increment it shadows,
+ * so summing any field across all sites plus the unattributed bucket
+ * reproduces the corresponding CoreStats counter bit for bit
+ * (slots_total has no per-site mirror; it is cycles * width).
+ */
+struct SiteUarch
+{
+    uint64_t cycles = 0;
+    uint64_t slots_retiring = 0;
+    uint64_t slots_frontend = 0;
+    uint64_t slots_bad_spec = 0;
+    uint64_t slots_backend_memory = 0;
+    uint64_t slots_backend_core = 0;
+    uint64_t branches = 0;
+    uint64_t branch_mispredicts = 0;
+    uint64_t l1d_accesses = 0;
+    uint64_t l1d_misses = 0;
+    uint64_t l2_misses = 0;
+    uint64_t l3_misses = 0;
+    uint64_t l1i_accesses = 0;
+    uint64_t l1i_misses = 0;
+    uint64_t itlb_misses = 0;
+    uint64_t btb_misses = 0;
+
+    void add(const SiteUarch& other);
+};
+
+/** One cumulative counter snapshot of the phase time-series, taken every
+ *  CoreParams::phase_window retired instructions (plus a final one at
+ *  finish()). Consumers difference adjacent samples for window rates. */
+struct PhaseSample
+{
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;
+    uint64_t slots_retiring = 0;
+    uint64_t slots_frontend = 0;
+    uint64_t slots_bad_spec = 0;
+    uint64_t slots_backend_memory = 0;
+    uint64_t slots_backend_core = 0;
+    uint64_t branches = 0;
+    uint64_t branch_mispredicts = 0;
+    uint64_t l1d_misses = 0;
+    uint64_t l2_misses = 0;
+    uint64_t l3_misses = 0;
+    uint64_t l1i_misses = 0;
 };
 
 /** Top-down pipeline-slot breakdown (fractions sum to 1). */
@@ -147,6 +203,28 @@ class CoreModel : public trace::ProbeSink
 
     const CoreParams& params() const { return params_; }
 
+    /** Per-site attribution, indexed by trace::CodeSite::id (shorter than
+     *  the registry if trailing sites saw no events). Totals are exact
+     *  only after finish() has charged the drain. Empty when
+     *  CoreParams::attribute_sites is off. */
+    const std::vector<SiteUarch>& attributionPerSite() const
+    {
+        return attr_sites_;
+    }
+
+    /** Charges that predate the first block probe (attribution on). */
+    const SiteUarch& attributionUnattributed() const
+    {
+        return attr_unattributed_;
+    }
+
+    bool attributionEnabled() const { return params_.attribute_sites; }
+
+    /** Cumulative snapshots every CoreParams::phase_window retired
+     *  instructions; finish() appends a final end-of-run sample. Empty
+     *  when phase_window is 0. */
+    const std::vector<PhaseSample>& phaseSamples() const { return phase_; }
+
   private:
     enum class StallCause : uint8_t
     {
@@ -180,6 +258,12 @@ class CoreModel : public trace::ProbeSink
 
     /** Frees entries whose time has passed. */
     void drain();
+
+    /** Per-site bucket for `site_id` (grows the table on demand). */
+    SiteUarch& attrAt(uint32_t site_id);
+
+    /** Records a cumulative PhaseSample and arms the next window. */
+    void capturePhase();
 
     uint64_t now() const { return cur_cycle_; }
 
@@ -222,6 +306,22 @@ class CoreModel : public trace::ProbeSink
 
     CoreStats stats_;
     bool finished_ = false;
+
+    // Per-site attribution (CoreParams::attribute_sites). attr_cur_ is
+    // null when attribution is off — a single predictable branch guards
+    // every mirrored charge — and otherwise always points at a live
+    // bucket (initially the unattributed one). It is refreshed on every
+    // block/branch probe, the only operations that can grow attr_sites_,
+    // so it never dangles across intervening loads/stores.
+    std::vector<SiteUarch> attr_sites_;
+    SiteUarch attr_unattributed_;
+    SiteUarch* attr_cur_ = nullptr;
+
+    // Phase time-series (CoreParams::phase_window). next_phase_ stays at
+    // UINT64_MAX when sampling is off, so the hot dispatch loop pays one
+    // never-taken compare per instruction.
+    std::vector<PhaseSample> phase_;
+    uint64_t next_phase_ = UINT64_MAX;
 };
 
 /** Runs a callable under this core model and returns its stats. The model

@@ -14,22 +14,29 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <thread>
 #include <vector>
 
 #include "codec/params.h"
+#include "codec/strategies/strategies.h"
 #include "codec/transcode.h"
+#include "core/parallel.h"
 #include "core/workload.h"
 #include "farm/farm.h"
+#include "obs/diff.h"
 #include "obs/hotspots.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/spans.h"
+#include "obs/uarch.h"
 #include "trace/probe.h"
 #include "uarch/config.h"
 #include "uarch/core.h"
@@ -304,6 +311,338 @@ TEST(Hotspots, BatchedPipelineBitIdenticalAtOneAndFourWorkers)
     trace::setDefaultBatchCapacity(original);
 }
 
+// --------------------------------------------- µarch attribution (PR 8)
+
+/** One attributed run: model (with per-site µarch attribution on) and
+ *  instruction profiler teed off the same event stream. */
+struct AttributedRun
+{
+    std::unique_ptr<uarch::CoreModel> model;
+    obs::HotspotProfiler profiler;
+    uarch::CoreStats core;
+};
+
+AttributedRun
+attributedTranscode(const std::string& preset, const std::string& video,
+                    double seconds,
+                    uint32_t batch = trace::kDefaultProbeBatch,
+                    uint64_t phase_window = 0)
+{
+    farm::Farm::warmupProcess();
+    const auto& source = core::mezzanine(video, seconds);
+    trace::arena().reset();
+    uarch::CoreParams params = uarch::baselineConfig();
+    params.attribute_sites = true;
+    params.phase_window = phase_window;
+    AttributedRun run;
+    run.model = std::make_unique<uarch::CoreModel>(params);
+    trace::TeeSink tee({run.model.get(), &run.profiler});
+    trace::setSink(&tee, batch);
+    codec::transcode(source, codec::presetParams(preset));
+    trace::setSink(nullptr);
+    run.core = run.model->finish();
+    return run;
+}
+
+/** Sums a model's per-site attribution plus the unattributed bucket. */
+uarch::SiteUarch
+attributionSum(const uarch::CoreModel& model)
+{
+    uarch::SiteUarch sum = model.attributionUnattributed();
+    for (const auto& site : model.attributionPerSite()) {
+        sum.add(site);
+    }
+    return sum;
+}
+
+/** The exactness contract: every per-site field sums back to the
+ *  corresponding CoreStats counter bit for bit — attribution is a
+ *  partition of the model's accounting, not an approximation of it. */
+void
+expectAttributionExact(const uarch::CoreModel& model,
+                       const uarch::CoreStats& core)
+{
+    const uarch::SiteUarch sum = attributionSum(model);
+    EXPECT_EQ(sum.cycles, core.cycles);
+    EXPECT_EQ(sum.slots_retiring, core.slots_retiring);
+    EXPECT_EQ(sum.slots_frontend, core.slots_frontend);
+    EXPECT_EQ(sum.slots_bad_spec, core.slots_bad_spec);
+    EXPECT_EQ(sum.slots_backend_memory, core.slots_backend_memory);
+    EXPECT_EQ(sum.slots_backend_core, core.slots_backend_core);
+    EXPECT_EQ(sum.branches, core.branches);
+    EXPECT_EQ(sum.branch_mispredicts, core.branch_mispredicts);
+    EXPECT_EQ(sum.l1d_accesses, core.l1d_accesses);
+    EXPECT_EQ(sum.l1d_misses, core.l1d_misses);
+    EXPECT_EQ(sum.l2_misses, core.l2_misses);
+    EXPECT_EQ(sum.l3_misses, core.l3_misses);
+    EXPECT_EQ(sum.l1i_accesses, core.l1i_accesses);
+    EXPECT_EQ(sum.l1i_misses, core.l1i_misses);
+    EXPECT_EQ(sum.itlb_misses, core.itlb_misses);
+    EXPECT_EQ(sum.btb_misses, core.btb_misses);
+    // The five slot classes partition every dispatch slot.
+    EXPECT_EQ(sum.slots_retiring + sum.slots_frontend + sum.slots_bad_spec
+                  + sum.slots_backend_memory + sum.slots_backend_core,
+              core.slots_total);
+}
+
+TEST(UarchAttribution, PerSiteSumsMatchCoreStatsFieldByField)
+{
+    // Batched (the shipped default) and per-event pipelines must both
+    // attribute exactly; the batch path replays the same member
+    // functions in order, so nothing may leak past the current site.
+    for (uint32_t batch : {uint32_t{0}, trace::kDefaultProbeBatch}) {
+        SCOPED_TRACE("batch capacity " + std::to_string(batch));
+        const AttributedRun run =
+            attributedTranscode("medium", "cat", 0.12, batch);
+        EXPECT_GT(run.core.cycles, 0u);
+        expectAttributionExact(*run.model, run.core);
+        // The profiler teed alongside provides the per-site instruction
+        // denominators; its total mirrors the model's counter.
+        EXPECT_EQ(run.profiler.totalInstructions(), run.core.instructions);
+        // A real transcode attributes everything to real sites.
+        EXPECT_EQ(run.model->attributionUnattributed().cycles, 0u);
+    }
+}
+
+TEST(UarchAttribution, TopCycleFamilyAtMediumPresetIsMotionEstimation)
+{
+    // The paper's headline µarch finding: motion-estimation cost kernels
+    // dominate *cycles* (not just instructions) at the medium preset.
+    const AttributedRun run = attributedTranscode("medium", "funny", 0.1);
+    obs::HotspotReport report;
+    report.merge(run.profiler);
+    obs::mergeAttribution(&report, *run.model);
+
+    const auto families = report.byFamily();
+    ASSERT_FALSE(families.empty());
+    const auto top = std::max_element(
+        families.begin(), families.end(),
+        [](const obs::HotspotRow& a, const obs::HotspotRow& b) {
+            return a.counters.cycles < b.counters.cycles;
+        });
+    EXPECT_EQ(top->name, "motion estimation");
+
+    // Report totals carry the model's counters exactly.
+    EXPECT_EQ(report.totals().cycles, run.core.cycles);
+    EXPECT_EQ(report.totals().instructions, run.core.instructions);
+
+    const std::string table = report.uarchTable(5);
+    EXPECT_NE(table.find("motion estimation"), std::string::npos);
+    EXPECT_NE(table.find("CPI"), std::string::npos);
+    EXPECT_NE(table.find("be-mem"), std::string::npos);
+}
+
+TEST(UarchAttribution, ReportTotalsMatchSweepCoreStats)
+{
+    // End-to-end through the instrumented-run chokepoint: the global
+    // report's µarch totals must equal the sum of every sweep point's
+    // CoreStats — serial and parallel, batched and per-event.
+    farm::Farm::warmupProcess();
+    const uint32_t original = trace::defaultBatchCapacity();
+    const std::vector<int> crf{21, 41};
+    const std::vector<int> refs{1, 4};
+    core::StudyOptions options;
+    options.video = "cat";
+    options.seconds = 0.1;
+    options.verbose = false;
+    core::mezzanine(options.video, options.seconds);
+
+    obs::setUarchAttributionEnabled(true);
+    for (int jobs : {1, 4}) {
+        for (uint32_t batch : {uint32_t{0}, trace::kDefaultProbeBatch}) {
+            SCOPED_TRACE("jobs " + std::to_string(jobs) + ", batch "
+                         + std::to_string(batch));
+            trace::setDefaultBatchCapacity(batch);
+            options.jobs = jobs;
+            obs::hotspotReport().reset();
+            const auto points =
+                core::parallelCrfRefsSweep(crf, refs, options);
+            uarch::CoreStats want;
+            for (const auto& p : points) {
+                want.instructions += p.run.core.instructions;
+                want.cycles += p.run.core.cycles;
+                want.branch_mispredicts += p.run.core.branch_mispredicts;
+                want.l1d_misses += p.run.core.l1d_misses;
+                want.l2_misses += p.run.core.l2_misses;
+                want.l3_misses += p.run.core.l3_misses;
+                want.l1i_misses += p.run.core.l1i_misses;
+                want.slots_retiring += p.run.core.slots_retiring;
+                want.slots_frontend += p.run.core.slots_frontend;
+                want.slots_bad_spec += p.run.core.slots_bad_spec;
+                want.slots_backend_memory +=
+                    p.run.core.slots_backend_memory;
+                want.slots_backend_core += p.run.core.slots_backend_core;
+            }
+            const obs::SiteCounters totals = obs::hotspotReport().totals();
+            EXPECT_EQ(totals.instructions, want.instructions);
+            EXPECT_EQ(totals.cycles, want.cycles);
+            EXPECT_EQ(totals.branch_mispredicts, want.branch_mispredicts);
+            EXPECT_EQ(totals.l1d_misses, want.l1d_misses);
+            EXPECT_EQ(totals.l2_misses, want.l2_misses);
+            EXPECT_EQ(totals.l3_misses, want.l3_misses);
+            EXPECT_EQ(totals.l1i_misses, want.l1i_misses);
+            EXPECT_EQ(totals.slots_retiring, want.slots_retiring);
+            EXPECT_EQ(totals.slots_frontend, want.slots_frontend);
+            EXPECT_EQ(totals.slots_bad_spec, want.slots_bad_spec);
+            EXPECT_EQ(totals.slots_backend_memory,
+                      want.slots_backend_memory);
+            EXPECT_EQ(totals.slots_backend_core, want.slots_backend_core);
+        }
+    }
+    obs::setUarchAttributionEnabled(false);
+    obs::hotspotReport().reset();
+    trace::setDefaultBatchCapacity(original);
+}
+
+std::string
+farmJsonlAttributed(int workers, bool attributed)
+{
+    obs::setUarchAttributionEnabled(attributed);
+    farm::Farm service(fastFarmOptions(workers));
+    for (const auto& req : smallJobStream(5, 1)) {
+        service.submit(req);
+    }
+    const std::string jsonl = service.drain().toJsonl();
+    obs::setUarchAttributionEnabled(false);
+    return jsonl;
+}
+
+TEST(UarchAttribution, AttributionDoesNotPerturbFarmResults)
+{
+    // Attribution is pure accounting inside the model: every run-log
+    // scalar and fingerprint must be bit-identical with it on or off,
+    // serial and parallel alike (and off is the seed's exact code path).
+    obs::hotspotReport().reset();
+    const std::string baseline = farmJsonlAttributed(1, false);
+    EXPECT_EQ(farmJsonlAttributed(1, true), baseline);
+    EXPECT_EQ(farmJsonlAttributed(4, true), baseline);
+    // And the attributed runs actually collected µarch tallies.
+    EXPECT_GT(obs::hotspotReport().totals().cycles, 0u);
+    obs::hotspotReport().reset();
+}
+
+TEST(UarchAttribution, PhaseSamplesAreCumulativeAndEndAtTotals)
+{
+    constexpr uint64_t kWindow = 200000;
+    const AttributedRun run = attributedTranscode(
+        "medium", "cat", 0.12, trace::kDefaultProbeBatch, kWindow);
+    const auto& samples = run.model->phaseSamples();
+    ASSERT_GT(samples.size(), 1u);
+    EXPECT_GE(samples.front().instructions, kWindow);
+    for (size_t i = 1; i < samples.size(); ++i) {
+        EXPECT_GE(samples[i].instructions, samples[i - 1].instructions);
+        EXPECT_GE(samples[i].cycles, samples[i - 1].cycles);
+        EXPECT_GE(samples[i].l1d_misses, samples[i - 1].l1d_misses);
+        EXPECT_GE(samples[i].slots_retiring, samples[i - 1].slots_retiring);
+    }
+    // The finish() sample closes the series at the exact run totals.
+    EXPECT_EQ(samples.back().instructions, run.core.instructions);
+    EXPECT_EQ(samples.back().cycles, run.core.cycles);
+    EXPECT_EQ(samples.back().slots_retiring, run.core.slots_retiring);
+    EXPECT_EQ(samples.back().branch_mispredicts,
+              run.core.branch_mispredicts);
+
+    // The exporter renders the series as Chrome counter events on the
+    // phase pid, with in-range top-down shares.
+    obs::SpanTracer tracer;
+    obs::emitPhaseCounters(&tracer, *run.model, "test");
+    ASSERT_GT(tracer.size(), 0u);
+    std::string err;
+    auto v = obs::parseJson(tracer.toChromeTrace(), &err);
+    ASSERT_NE(v, nullptr) << err;
+    size_t counters = 0;
+    for (const auto& e : v->find("traceEvents")->array()) {
+        if (e.strOr("ph", "") != "C") {
+            continue;
+        }
+        ++counters;
+        EXPECT_DOUBLE_EQ(e.numberOr("pid", -1.0),
+                         static_cast<double>(obs::kPhaseTrackPid));
+        const obs::JsonValue* args = e.find("args");
+        ASSERT_NE(args, nullptr);
+        if (e.strOr("name", "").rfind("topdown", 0) == 0) {
+            const double retiring = args->numberOr("retiring", -1.0);
+            EXPECT_GE(retiring, 0.0);
+            EXPECT_LE(retiring, 1.0);
+        } else {
+            EXPECT_GE(args->numberOr("ipc", -1.0), 0.0);
+        }
+    }
+    EXPECT_GT(counters, 0u);
+}
+
+// --------------------------------------------- differential µarch diffs
+
+TEST(UarchDiff, ReportRoundTripsAndSelfDiffIsZero)
+{
+    const AttributedRun run = attributedTranscode("medium", "cat", 0.1);
+    obs::HotspotReport report;
+    report.merge(run.profiler);
+    obs::mergeAttribution(&report, *run.model);
+
+    obs::ReportData data;
+    std::string err;
+    ASSERT_TRUE(obs::parseReport(report.toJson(), &data, &err)) << err;
+    EXPECT_EQ(data.totals.cycles, run.core.cycles);
+    EXPECT_EQ(data.totals.instructions, run.core.instructions);
+    EXPECT_FALSE(data.by_family.empty());
+    EXPECT_FALSE(data.by_prefix.empty());
+    EXPECT_FALSE(data.by_site.empty());
+
+    const obs::ReportDiff self = obs::diffReports(data, data);
+    EXPECT_EQ(self.totals.deltaCycles(), 0);
+    EXPECT_EQ(self.totals.deltaInstructions(), 0);
+    for (const auto& row : self.by_family) {
+        EXPECT_EQ(row.deltaCycles(), 0) << row.name;
+    }
+    const std::string table = obs::diffTable(self, 5);
+    EXPECT_NE(table.find("delta by kernel family"), std::string::npos);
+}
+
+TEST(UarchDiff, RejectsMalformedReports)
+{
+    obs::ReportData data;
+    std::string err;
+    EXPECT_FALSE(obs::parseReport("not json", &data, &err));
+    EXPECT_FALSE(err.empty());
+    EXPECT_FALSE(obs::parseReport(R"({"totals": 3})", &data, &err));
+    EXPECT_FALSE(obs::loadReport("/nonexistent/uarch.json", &data, &err));
+}
+
+TEST(UarchDiff, ScalarVsVectorDeltaLandsInVectorizedFamilies)
+{
+    // The acceptance scenario: diff a scalar-kernel-model report against
+    // a vector-kernel-model report of the same workload. The vector
+    // model retires far fewer instructions in the SIMD-converted cost
+    // kernels (SAD/SATD/DCT/quant), so the cycle delta must concentrate
+    // in the families those kernels map to.
+    auto reportData = [](const std::string& kernel_model,
+                         obs::ReportData* out) {
+        ASSERT_TRUE(codec::setKernelModel(kernel_model));
+        const AttributedRun run =
+            attributedTranscode("medium", "funny", 0.1);
+        obs::HotspotReport report;
+        report.merge(run.profiler);
+        obs::mergeAttribution(&report, *run.model);
+        std::string err;
+        ASSERT_TRUE(obs::parseReport(report.toJson(), out, &err)) << err;
+    };
+    obs::ReportData scalar;
+    obs::ReportData vec;
+    reportData("scalar", &scalar);
+    reportData("vector", &vec);
+    codec::setKernelModel("scalar"); // Restore the process default.
+
+    const obs::ReportDiff diff = obs::diffReports(scalar, vec);
+    // Vectorization is a win: fewer instructions, fewer cycles.
+    EXPECT_LT(diff.totals.deltaCycles(), 0);
+    EXPECT_LT(diff.totals.deltaInstructions(), 0);
+    ASSERT_FALSE(diff.by_family.empty());
+    const std::string& top = diff.by_family.front().name;
+    EXPECT_TRUE(top == "motion estimation" || top == "transform/quant")
+        << "top cycle-delta family: " << top;
+}
+
 // --------------------------------------------------------------- spans
 
 TEST(Spans, ScopedRecordsWallSpansWithArgs)
@@ -407,6 +746,47 @@ TEST(Spans, ChromeTraceExportIsValidJson)
     EXPECT_EQ(events->array()[2].strOr("ph", ""), "b");
     EXPECT_DOUBLE_EQ(events->array()[2].numberOr("id", -1.0), 7.0);
     EXPECT_EQ(events->array()[3].strOr("ph", ""), "i");
+}
+
+TEST(Spans, CounterEventsRenderNumericArgs)
+{
+    obs::SpanTracer tracer;
+    obs::Span c;
+    c.category = "uarch";
+    c.name = "topdown";
+    c.pid = 9;
+    c.tid = 3;
+    c.ts_us = 2.5;
+    c.values = {{"retiring", 0.5}, {"frontend", 0.25}};
+    c.args = {{"label", "x"}}; // String args coexist with the series.
+    tracer.recordCounter(std::move(c));
+    obs::Span bad;
+    bad.category = "uarch";
+    bad.name = "rates";
+    bad.values = {{"ipc", std::nan("")}}; // Clamped to 0, not emitted raw.
+    tracer.recordCounter(std::move(bad));
+
+    std::string err;
+    auto v = obs::parseJson(tracer.toChromeTrace(), &err);
+    ASSERT_NE(v, nullptr) << err;
+    const obs::JsonValue* events = v->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_EQ(events->array().size(), 2u);
+
+    const obs::JsonValue& topdown = events->array()[0];
+    EXPECT_EQ(topdown.strOr("ph", ""), "C");
+    EXPECT_EQ(topdown.strOr("name", ""), "topdown");
+    EXPECT_DOUBLE_EQ(topdown.numberOr("pid", -1.0), 9.0);
+    EXPECT_DOUBLE_EQ(topdown.numberOr("ts", -1.0), 2.5);
+    const obs::JsonValue* args = topdown.find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_DOUBLE_EQ(args->numberOr("retiring", -1.0), 0.5);
+    EXPECT_DOUBLE_EQ(args->numberOr("frontend", -1.0), 0.25);
+    EXPECT_EQ(args->strOr("label", ""), "x");
+
+    const obs::JsonValue* rates = events->array()[1].find("args");
+    ASSERT_NE(rates, nullptr);
+    EXPECT_DOUBLE_EQ(rates->numberOr("ipc", -1.0), 0.0);
 }
 
 /** Parses a farm trace and checks job-lifecycle span consistency. */
@@ -541,6 +921,54 @@ TEST(Metrics, PrometheusExpositionFormat)
     EXPECT_NE(text.find("latency_seconds_count 1"), std::string::npos);
 }
 
+TEST(Metrics, HistogramStaysBoundedUnderSustainedObserve)
+{
+    // A long-running farm service observes() forever; the histogram must
+    // not grow without bound. Count and sum stay exact; the retained
+    // sample set caps at kMaxSamples (deterministic reservoir), keeping
+    // percentiles sane estimates of the full stream.
+    obs::MetricsRegistry reg;
+    auto& h = reg.histogram("soak_latency_seconds", "soak");
+    constexpr uint64_t kObservations = 100000;
+    double sum = 0.0;
+    for (uint64_t i = 0; i < kObservations; ++i) {
+        const double v = static_cast<double>(i % 1000);
+        h.observe(v);
+        sum += v;
+    }
+    EXPECT_EQ(h.count(), kObservations);
+    EXPECT_DOUBLE_EQ(h.sum(), sum);
+    EXPECT_EQ(h.retained(), obs::Histogram::kMaxSamples);
+    // Values cycle uniformly over [0, 999]; the reservoir keeps every
+    // observation equally likely, so the median lands near 500 (the
+    // fixed Rng seed makes this deterministic, the band is just slack).
+    const double p50 = h.percentile(50.0);
+    EXPECT_GE(p50, 400.0);
+    EXPECT_LE(p50, 600.0);
+    // Exposition still renders (count reflects the full stream).
+    EXPECT_NE(reg.exposition().find("soak_latency_seconds_count 100000"),
+              std::string::npos);
+}
+
+TEST(Metrics, HistogramExactBelowReservoirThreshold)
+{
+    obs::MetricsRegistry reg;
+    auto& h = reg.histogram("small_hist", "exact");
+    for (int i = 99; i >= 0; --i) {
+        h.observe(static_cast<double>(i));
+    }
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_EQ(h.retained(), 100u);
+    // Below the cap nothing is sampled away: exact percentiles, same
+    // semantics as farm::RunLog::percentile.
+    std::vector<double> values(100);
+    for (int i = 0; i < 100; ++i) {
+        values[i] = static_cast<double>(i);
+    }
+    EXPECT_DOUBLE_EQ(h.percentile(90.0),
+                     farm::RunLog::percentile(values, 90.0));
+}
+
 TEST(Metrics, FarmDrainRecordsServiceMetrics)
 {
     obs::metrics().reset();
@@ -618,6 +1046,59 @@ TEST(ArtifactValidation, HotspotReportFileParses)
     EXPECT_FALSE(families->array().empty());
     ASSERT_NE(v->find("by_site"), nullptr);
     EXPECT_FALSE(v->find("by_site")->array().empty());
+}
+
+/** The µarch attribution JSON exported by --uarch-report-out
+ *  (VTRANS_UARCH_JSON): must parse as a report with cycle totals. */
+TEST(ArtifactValidation, UarchReportFileParses)
+{
+    const char* path = std::getenv("VTRANS_UARCH_JSON");
+    if (path == nullptr) {
+        GTEST_SKIP() << "VTRANS_UARCH_JSON not set";
+    }
+    const std::string text = readFileOrEmpty(path);
+    ASSERT_FALSE(text.empty()) << "cannot read " << path;
+    obs::ReportData data;
+    std::string err;
+    ASSERT_TRUE(obs::parseReport(text, &data, &err)) << err;
+    EXPECT_GT(data.totals.cycles, 0u);
+    EXPECT_GT(data.totals.instructions, 0u);
+    EXPECT_FALSE(data.by_family.empty());
+    EXPECT_FALSE(data.by_site.empty());
+    // A self-diff of the artifact must align every row and cancel.
+    const obs::ReportDiff self = obs::diffReports(data, data);
+    EXPECT_EQ(self.totals.deltaCycles(), 0);
+}
+
+/** The phase time-series trace exported with --phase-window
+ *  (VTRANS_PHASE_TRACE_JSON): must contain Chrome counter events with
+ *  numeric series on the phase pid. */
+TEST(ArtifactValidation, PhaseTraceFileHasCounterEvents)
+{
+    const char* path = std::getenv("VTRANS_PHASE_TRACE_JSON");
+    if (path == nullptr) {
+        GTEST_SKIP() << "VTRANS_PHASE_TRACE_JSON not set";
+    }
+    const std::string text = readFileOrEmpty(path);
+    ASSERT_FALSE(text.empty()) << "cannot read " << path;
+    std::string err;
+    auto v = obs::parseJson(text, &err);
+    ASSERT_NE(v, nullptr) << err;
+    const obs::JsonValue* events = v->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+    size_t counters = 0;
+    for (const auto& e : events->array()) {
+        if (e.strOr("ph", "") != "C") {
+            continue;
+        }
+        ++counters;
+        EXPECT_DOUBLE_EQ(e.numberOr("pid", -1.0),
+                         static_cast<double>(obs::kPhaseTrackPid));
+        ASSERT_NE(e.find("args"), nullptr);
+        EXPECT_TRUE(e.find("args")->isObject());
+    }
+    EXPECT_GT(counters, 0u);
 }
 
 } // namespace

@@ -47,15 +47,29 @@ echo "== chunked transcode smoke (split/stitch + worker invariance) =="
 "$BUILD_DIR"/examples/transcode_farm --jobs 8 --seconds 0.12 \
     --policy smart --chunked --chunk-frames 3
 
-echo "== parallel sweep smoke (+ hotspots + stage trace) =="
+echo "== parallel sweep smoke (+ hotspots + uarch attribution + traces) =="
 "$BUILD_DIR"/bench/fig3_heatmaps --coarse --seconds 0.1 --jobs 4 --quiet \
     --hotspots --hotspots-out "$OBS_DIR/hotspots.json" \
+    --uarch-report --uarch-report-out "$OBS_DIR/uarch.json" \
+    --phase-window 200000 \
     --trace-out "$OBS_DIR/sweep-trace.json" --metrics
+
+echo "== uarch attribution: exactness + non-perturbation =="
+# Per-site sums must equal CoreStats field by field; attribution on/off
+# must be bit-identical; phase samples must close at the run totals.
+"$BUILD_DIR"/tests/test_obs --gtest_filter='UarchAttribution.*:UarchDiff.*'
+
+echo "== uarch diff smoke (self-diff cancels) =="
+"$BUILD_DIR"/tools/uarch_diff "$OBS_DIR/uarch.json" "$OBS_DIR/uarch.json" \
+    --limit 5
 
 echo "== observability artifacts validate =="
 # The test binary doubles as the JSON validator (no external tooling):
-# parse the exported hotspot report and both Chrome traces.
+# parse the exported hotspot report, the µarch attribution report, the
+# phase-counter trace, and both Chrome traces.
 VTRANS_HOTSPOT_JSON="$OBS_DIR/hotspots.json" \
+    VTRANS_UARCH_JSON="$OBS_DIR/uarch.json" \
+    VTRANS_PHASE_TRACE_JSON="$OBS_DIR/sweep-trace.json" \
     VTRANS_TRACE_JSON="$OBS_DIR/sweep-trace.json" \
     "$BUILD_DIR"/tests/test_obs --gtest_filter='ArtifactValidation.*'
 VTRANS_TRACE_JSON="$OBS_DIR/farm-trace.json" \
@@ -66,12 +80,14 @@ if [[ "${VTRANS_SKIP_PERF:-0}" != 1 ]]; then
     echo "== probe pipeline perf smoke (Release) =="
     # Batched dispatch must stay bit-identical AND faster than per-event:
     # microbench_probe exits non-zero if identity breaks or the pipeline
-    # speedup falls below --min-speedup. Writes BENCH_probe.json.
+    # speedup falls below --min-speedup. --attr-overhead additionally
+    # gates per-site attribution: identical CoreStats and <= 1.25x the
+    # unattributed model sink. Writes BENCH_probe.json.
     PERF_DIR="${BUILD_DIR}-release"
     cmake -B "$PERF_DIR" -S . -DCMAKE_BUILD_TYPE=Release
     cmake --build "$PERF_DIR" -j --target microbench_probe
     "$PERF_DIR"/bench/microbench_probe --min-speedup 1.5 \
-        --out "$PERF_DIR/BENCH_probe.json"
+        --attr-overhead 1.25 --out "$PERF_DIR/BENCH_probe.json"
 
     echo "== kernel perf gate (Release) =="
     # Vector SAD/SATD must beat scalar by >= 2x (exactness is re-checked
