@@ -76,6 +76,17 @@ PentiumMPredictor::update(uint64_t pc, bool taken)
     last_pc_ = kNoPc; // gshare index is stale once the history shifts.
 }
 
+bool
+PentiumMPredictor::predictAndUpdate(uint64_t pc, bool taken)
+{
+    // Qualified calls devirtualize and inline within this TU; the
+    // predict-side index/table reads feed the update arm directly, with
+    // the exact sequence of table mutations the two-call path performs.
+    const bool predicted = PentiumMPredictor::predict(pc);
+    PentiumMPredictor::update(pc, taken);
+    return predicted;
+}
+
 // ---- TAGE ---------------------------------------------------------------
 
 constexpr int TagePredictor::kHistLengths[TagePredictor::kTables];
@@ -232,6 +243,14 @@ TagePredictor::update(uint64_t pc, bool taken)
     ghist_[0] = (ghist_[0] << 1) | (taken ? 1 : 0);
 }
 
+bool
+TagePredictor::predictAndUpdate(uint64_t pc, bool taken)
+{
+    const bool predicted = TagePredictor::predict(pc);
+    TagePredictor::update(pc, taken);
+    return predicted;
+}
+
 std::unique_ptr<BranchPredictor>
 makePredictor(const std::string& name)
 {
@@ -271,25 +290,31 @@ Btb::access(uint64_t pc)
     }
     const uint32_t set = static_cast<uint32_t>(key) & set_mask_;
     Entry* base = &slots_[static_cast<size_t>(set) * ways_];
+    // Fused hit + victim scan (same idiom as Cache::scanLine): track the
+    // first invalid way, else the first minimum-lru way, while looking
+    // for the tag. Identical replacement choice to the two-pass scan.
+    Entry* invalid = nullptr;
+    Entry* lru_entry = base;
     for (uint32_t w = 0; w < ways_; ++w) {
-        if (base[w].valid && base[w].tag == key) {
-            base[w].lru = tick_;
+        Entry& e = base[w];
+        if (!e.valid) {
+            if (invalid == nullptr) {
+                invalid = &e;
+            }
+            continue;
+        }
+        if (e.tag == key) {
+            e.lru = tick_;
             mru_key_ = key;
-            mru_entry_ = &base[w];
+            mru_entry_ = &e;
             return true;
+        }
+        if (e.lru < lru_entry->lru) {
+            lru_entry = &e;
         }
     }
     ++misses_;
-    Entry* victim = base;
-    for (uint32_t w = 0; w < ways_; ++w) {
-        if (!base[w].valid) {
-            victim = &base[w];
-            break;
-        }
-        if (base[w].lru < victim->lru) {
-            victim = &base[w];
-        }
-    }
+    Entry* victim = invalid != nullptr ? invalid : lru_entry;
     victim->valid = true;
     victim->tag = key;
     victim->lru = tick_;

@@ -28,6 +28,23 @@ class BranchPredictor
     /** Trains with the resolved direction. */
     virtual void update(uint64_t pc, bool taken) = 0;
 
+    /**
+     * Fused predict-then-train: returns what predict(pc) would have
+     * returned, then trains with `taken` — the core model's per-branch
+     * call. The default composes the two virtuals; concrete predictors
+     * override it with a single `final` implementation whose internal
+     * calls devirtualize and inline, so the hot path pays one virtual
+     * dispatch per branch instead of two. Behaviour (prediction and
+     * post-update table state) is identical by construction.
+     */
+    virtual bool
+    predictAndUpdate(uint64_t pc, bool taken)
+    {
+        const bool predicted = predict(pc);
+        update(pc, taken);
+        return predicted;
+    }
+
     /** Predictor family name ("pentium_m", "tage"). */
     virtual std::string name() const = 0;
 };
@@ -44,6 +61,7 @@ class PentiumMPredictor : public BranchPredictor
 
     bool predict(uint64_t pc) override;
     void update(uint64_t pc, bool taken) override;
+    bool predictAndUpdate(uint64_t pc, bool taken) final;
     std::string name() const override { return "pentium_m"; }
 
   private:
@@ -79,6 +97,7 @@ class TagePredictor : public BranchPredictor
 
     bool predict(uint64_t pc) override;
     void update(uint64_t pc, bool taken) override;
+    bool predictAndUpdate(uint64_t pc, bool taken) final;
     std::string name() const override { return "tage"; }
 
   private:

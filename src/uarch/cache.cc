@@ -33,43 +33,40 @@ Cache::Cache(std::string name, const CacheParams& params)
 }
 
 bool
-Cache::access(uint64_t addr)
+Cache::scanLine(uint64_t line)
 {
-    ++accesses_;
-    ++tick_;
-    const uint64_t line = addr >> line_shift_;
-    if (line == mru_line_) {
-        // Same line as the previous access: it is resident in mru_way_
-        // (just hit or just filled there, and nothing evicted it since —
-        // any eviction goes through access(), which retargets the MRU).
-        // Identical bookkeeping to the scan's hit arm.
-        mru_way_->lru = tick_;
-        return true;
-    }
+    // accesses_/tick_ were already bumped by the inline accessLine().
     const uint32_t set = static_cast<uint32_t>(line) & set_mask_;
     const uint64_t tag = line >> tag_shift_;
 
     Way* base = &ways_[static_cast<size_t>(set) * params_.assoc];
+    // One fused pass: look for the tag while tracking the victim a
+    // second pass would pick — the first invalid way if any, else the
+    // first way with the minimum lru (strict < keeps the earliest).
+    // Replacement is decided only on a miss, and the hit arm returns
+    // without touching lru state, so the fused scan picks the identical
+    // victim the two-pass version did.
+    Way* invalid = nullptr;
+    Way* lru_way = base;
     for (uint32_t w = 0; w < params_.assoc; ++w) {
         Way& way = base[w];
-        if (way.valid && way.tag == tag) {
+        if (!way.valid) {
+            if (invalid == nullptr) {
+                invalid = &way;
+            }
+            continue;
+        }
+        if (way.tag == tag) {
             way.lru = tick_;
             mru_line_ = line;
             mru_way_ = &way;
             return true;
         }
-    }
-    // Victim: first invalid way, else true LRU.
-    Way* victim = base;
-    for (uint32_t w = 0; w < params_.assoc; ++w) {
-        if (!base[w].valid) {
-            victim = &base[w];
-            break;
-        }
-        if (base[w].lru < victim->lru) {
-            victim = &base[w];
+        if (way.lru < lru_way->lru) {
+            lru_way = &way;
         }
     }
+    Way* victim = invalid != nullptr ? invalid : lru_way;
     ++misses_;
     victim->valid = true;
     victim->tag = tag;
@@ -152,11 +149,8 @@ CacheHierarchy::missPath(uint64_t addr)
 }
 
 AccessResult
-CacheHierarchy::dataAccess(uint64_t addr)
+CacheHierarchy::dataMiss(uint64_t addr)
 {
-    if (l1d_.access(addr)) {
-        return {lat_.l1, false, false, false, false};
-    }
     AccessResult r = missPath(addr);
     r.l1_miss = true;
     r.latency += lat_.l1;
@@ -164,11 +158,8 @@ CacheHierarchy::dataAccess(uint64_t addr)
 }
 
 AccessResult
-CacheHierarchy::fetchAccess(uint64_t addr)
+CacheHierarchy::fetchMiss(uint64_t addr)
 {
-    if (l1i_.access(addr)) {
-        return {lat_.l1, false, false, false, false};
-    }
     AccessResult r = missPath(addr);
     r.l1_miss = true;
     r.latency += lat_.l1;

@@ -42,8 +42,78 @@ class Cache
     /**
      * Looks up the line containing `addr`, filling on miss.
      * @return true on hit.
+     *
+     * The MRU check is inline so L1-hit streams pay no out-of-line call;
+     * the set scan and fill live in scanLine() (cache.cc).
      */
-    bool access(uint64_t addr);
+    bool
+    access(uint64_t addr)
+    {
+        return accessLine(addr >> line_shift_);
+    }
+
+    /** access() with the line number already computed (callers holding a
+     *  precomputed fetch plan skip the shift). */
+    bool
+    accessLine(uint64_t line)
+    {
+        ++accesses_;
+        ++tick_;
+        if (line == mru_line_) {
+            // Same line as the previous access: it is resident in
+            // mru_way_ (just hit or just filled there, and nothing
+            // evicted it since — any eviction goes through accessLine(),
+            // which retargets the MRU). Identical bookkeeping to the
+            // scan's hit arm.
+            mru_way_->lru = tick_;
+            return true;
+        }
+        return scanLine(line);
+    }
+
+    /**
+     * Hit-arm bookkeeping for `line` if it is still resident in way
+     * `slot` (a value previously obtained from mruSlot() right after an
+     * access to the same line). Returns false — performing *no*
+     * bookkeeping — when the slot has since been refilled with another
+     * line, in which case the caller falls back to accessLine().
+     *
+     * Exactness: a slot recorded for `line` always lies in `line`'s set,
+     * and at most one way of a set can hold a given tag, so a valid tag
+     * match here identifies the same way the full scan would hit; the
+     * counter/LRU/MRU updates below mirror that hit arm exactly.
+     */
+    bool
+    touchIfResident(uint64_t line, uint32_t slot)
+    {
+        Way& way = ways_[slot];
+        if (!way.valid || way.tag != (line >> tag_shift_)) {
+            return false;
+        }
+        ++accesses_;
+        ++tick_;
+        way.lru = tick_;
+        mru_line_ = line;
+        mru_way_ = &way;
+        return true;
+    }
+
+    /** Index of the way holding the line just accessed (valid until the
+     *  next miss fills over it; touchIfResident() re-validates). */
+    uint32_t
+    mruSlot() const
+    {
+        return static_cast<uint32_t>(mru_way_ - ways_.data());
+    }
+
+    /** Way index of way 0 of the set `line` maps to — the safe initial
+     *  value for a fetch-plan slot (same-set, so a tag match in
+     *  touchIfResident() is sound). */
+    uint32_t
+    setBaseSlot(uint64_t line) const
+    {
+        return (static_cast<uint32_t>(line) & set_mask_) * params_.assoc;
+    }
 
     /** Probes without updating LRU or filling (testing aid). */
     bool contains(uint64_t addr) const;
@@ -57,6 +127,7 @@ class Cache
     uint32_t sets() const { return sets_; }
     uint32_t assoc() const { return params_.assoc; }
     uint32_t lineBytes() const { return params_.line_bytes; }
+    uint32_t lineShift() const { return line_shift_; }
 
   private:
     struct Way
@@ -65,6 +136,9 @@ class Cache
         uint64_t lru = 0;
         bool valid = false;
     };
+
+    /** Set scan + fill after an MRU miss (the cold half of accessLine). */
+    bool scanLine(uint64_t line);
 
     /// Sentinel for "no MRU line cached" (never a real line number).
     static constexpr uint64_t kNoLine = UINT64_MAX;
@@ -119,11 +193,38 @@ class CacheHierarchy
                    const CacheParams& l2, const CacheParams& l3,
                    uint32_t l4_size, const LatencyParams& lat);
 
-    /** A data-side access (loads and stores: write-allocate). */
-    AccessResult dataAccess(uint64_t addr);
+    /** A data-side access (loads and stores: write-allocate). The L1-hit
+     *  arm — by far the common case — is inline; misses walk the shared
+     *  levels out of line. */
+    AccessResult
+    dataAccess(uint64_t addr)
+    {
+        if (l1d_.access(addr)) {
+            return {lat_.l1, false, false, false, false};
+        }
+        return dataMiss(addr);
+    }
 
     /** An instruction-fetch access. */
-    AccessResult fetchAccess(uint64_t addr);
+    AccessResult
+    fetchAccess(uint64_t addr)
+    {
+        if (l1i_.access(addr)) {
+            return {lat_.l1, false, false, false, false};
+        }
+        return fetchMiss(addr);
+    }
+
+    /** fetchAccess() with the L1i line number already computed (per-site
+     *  fetch plans precompute it once per site). */
+    AccessResult
+    fetchLineAccess(uint64_t line)
+    {
+        if (l1i_.accessLine(line)) {
+            return {lat_.l1, false, false, false, false};
+        }
+        return fetchMiss(line << l1i_.lineShift());
+    }
 
     /** Spans an access over cache lines: one access per touched line. */
     int dataAccessBytes(uint64_t addr, uint32_t bytes, AccessResult* worst);
@@ -140,6 +241,12 @@ class CacheHierarchy
 
   private:
     AccessResult missPath(uint64_t addr);
+
+    /** L1d-miss continuation of dataAccess (L2 -> L3 -> L4 -> memory). */
+    AccessResult dataMiss(uint64_t addr);
+
+    /** L1i-miss continuation of fetchAccess/fetchLineAccess. */
+    AccessResult fetchMiss(uint64_t addr);
 
     Cache l1d_;
     Cache l1i_;

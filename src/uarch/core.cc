@@ -26,6 +26,19 @@ perKilo(uint64_t events, uint64_t instructions)
                : 1000.0 * static_cast<double>(events) / instructions;
 }
 
+/** Resource-stall slots -> stall cycles per kilo-instruction. The
+ *  slots-to-cycles conversion divides in floating point: an integer
+ *  `slots / width` would drop up to (width - 1) slots of every partial
+ *  stall cycle from the reported rate. */
+double
+perKiloStallCycles(uint64_t slots, int width, uint64_t instructions)
+{
+    return instructions == 0 || width <= 0
+               ? 0.0
+               : 1000.0 * (static_cast<double>(slots) / width)
+                     / static_cast<double>(instructions);
+}
+
 } // namespace
 
 double
@@ -83,26 +96,26 @@ CoreStats::topdown() const
 double
 CoreStats::robStallsPki() const
 {
-    return perKilo(slots_rob_stall / width, instructions);
+    return perKiloStallCycles(slots_rob_stall, width, instructions);
 }
 
 double
 CoreStats::rsStallsPki() const
 {
-    return perKilo(slots_rs_stall / width, instructions);
+    return perKiloStallCycles(slots_rs_stall, width, instructions);
 }
 
 double
 CoreStats::sbStallsPki() const
 {
-    return perKilo(slots_sb_stall / width, instructions);
+    return perKiloStallCycles(slots_sb_stall, width, instructions);
 }
 
 double
 CoreStats::anyResourceStallsPki() const
 {
-    return perKilo(
-        (slots_rob_stall + slots_rs_stall + slots_sb_stall) / width,
+    return perKiloStallCycles(
+        slots_rob_stall + slots_rs_stall + slots_sb_stall, width,
         instructions);
 }
 
@@ -138,10 +151,17 @@ CoreModel::CoreModel(const CoreParams& params)
       itlb_(params.itlb_entries),
       predictor_(makePredictor(params.predictor)),
       btb_(),
+      // Window rings hold at most one coalesced entry per occupant, so
+      // reserving the modelled structure size up front means steady-state
+      // pushes never reallocate — even with the fast-forward path's lazy
+      // draining, occupancy (and thus entry count) stays bounded by the
+      // structure size via ensure*Space().
       rob_(static_cast<size_t>(std::max(params.rob_size, 1))),
       rs_(static_cast<size_t>(std::max(params.rs_size, 1))),
-      sb_(static_cast<size_t>(std::max(params.sb_size, 1)))
+      sb_(static_cast<size_t>(std::max(params.sb_size, 1))),
+      mshr_(static_cast<size_t>(std::max(params.mshr_entries, 1)) * 2)
 {
+    reference_stepping_ = params_.reference_stepping;
     VT_ASSERT(params_.width > 0 && params_.rob_size > 0
                   && params_.rs_size > 0 && params_.sb_size > 0,
               "invalid core parameters");
@@ -248,10 +268,106 @@ CoreModel::drain()
 void
 CoreModel::dispatch(uint32_t count)
 {
+    // Event-driven fast-forward (DESIGN.md §13). Two facts make a
+    // closed-form advance bit-exact vs the stepped reference loop:
+    //
+    //  1. fetch_ready_ is invariant across this call and cur_cycle_ only
+    //     grows, so the per-instruction frontend check can fire at most
+    //     once — on the first instruction. Hoist it.
+    //  2. drain() only pops window entries whose time has passed, and an
+    //     entry expired at cycle T is still expired at every later cycle;
+    //     nothing in dispatch reads window occupancy, and every consumer
+    //     of occupancy (ensure*Space, which also charges the stalls)
+    //     drains before deciding. So the stepped loop's per-rollover
+    //     drains commute past the whole span, and one drain at the end
+    //     frees the same entries with the same counters.
+    //
+    // What remains is pure arithmetic on (cur_cycle_, slots_in_cycle_,
+    // slots_retiring, instructions): advance it in closed form.
+    if (reference_stepping_) {
+        referenceDispatch(count);
+        return;
+    }
+    if (fetch_ready_ > cur_cycle_) {
+        advanceTo(fetch_ready_, fetch_reason_);
+        drain();
+    }
+    const uint32_t width = static_cast<uint32_t>(params_.width);
+    const uint64_t slots0 = slots_in_cycle_;
+    // slots_in_cycle_ < width always holds between calls, so single-
+    // instruction events (every load, store, and branch) never need the
+    // hardware divide: the span either stays inside the current cycle or
+    // fills it exactly.
+    const uint64_t total = slots0 + count;
+    uint64_t rolled;
+    uint32_t rem;
+    if (total < width) {
+        rolled = 0;
+        rem = static_cast<uint32_t>(total);
+    } else if (count == 1) {
+        rolled = 1; // slots0 + 1 == width exactly.
+        rem = 0;
+    } else {
+        rolled = total / width;
+        rem = static_cast<uint32_t>(total % width);
+    }
     if (attr_cur_ == nullptr && next_phase_ == UINT64_MAX) {
-        // Hot path: attribution and phase sampling are both off. This
-        // loop must stay free of observability loads/branches — it runs
-        // once per retired instruction and dominates model throughput.
+        // Hot path: attribution and phase sampling both off.
+        stats_.slots_retiring += count;
+        stats_.instructions += count;
+        cur_cycle_ += rolled;
+        slots_in_cycle_ = rem;
+        if (rolled > 0) {
+            drain();
+        }
+        return;
+    }
+    // Instrumented path. The attribution bucket cannot change inside
+    // dispatch (only the block/branch probes retarget attr_cur_), so the
+    // per-site charges post once; phase samples must land exactly on
+    // window boundaries, so the span splits there — O(captures), not
+    // O(instructions).
+    const uint64_t cycle0 = cur_cycle_;
+    if (next_phase_ == UINT64_MAX) {
+        stats_.slots_retiring += count;
+        stats_.instructions += count;
+    } else {
+        uint64_t done = 0;
+        while (done < count) {
+            const uint64_t to_boundary = next_phase_ - stats_.instructions;
+            const uint64_t span =
+                std::min<uint64_t>(count - done, to_boundary);
+            stats_.slots_retiring += span;
+            stats_.instructions += span;
+            done += span;
+            if (span == to_boundary) {
+                // The reference loop samples after the boundary
+                // instruction's retire/instruction increments but before
+                // its dispatch slot is consumed: position the clock at
+                // the cycle the first (done - 1) slots of this call
+                // reached, then capture.
+                cur_cycle_ = cycle0 + (slots0 + done - 1) / width;
+                capturePhase();
+            }
+        }
+    }
+    cur_cycle_ = cycle0 + rolled;
+    slots_in_cycle_ = rem;
+    if (attr_cur_ != nullptr) {
+        attr_cur_->slots_retiring += count;
+        attr_cur_->cycles += rolled;
+    }
+    if (rolled > 0) {
+        drain();
+    }
+}
+
+void
+CoreModel::referenceDispatch(uint32_t count)
+{
+    if (attr_cur_ == nullptr && next_phase_ == UINT64_MAX) {
+        // The pre-fast-forward hot path: one step per retired
+        // instruction (retained for the differential suite).
         for (uint32_t i = 0; i < count; ++i) {
             // Frontend availability gates dispatch.
             if (fetch_ready_ > cur_cycle_) {
@@ -269,10 +385,8 @@ CoreModel::dispatch(uint32_t count)
         }
         return;
     }
-    // Instrumented path. The attribution bucket cannot change inside
-    // dispatch (only the block/branch probes retarget attr_cur_), so the
-    // per-site retiring-slot and cycle charges accumulate in locals and
-    // post once after the loop; only the phase check stays per
+    // Instrumented reference path: per-site charges accumulate in locals
+    // and post once after the loop; the phase check stays per
     // instruction so samples land on window boundaries.
     uint64_t cycles_rolled = 0;
     for (uint32_t i = 0; i < count; ++i) {
@@ -394,6 +508,21 @@ CoreModel::ensureSbSpace(uint32_t count)
 }
 
 void
+CoreModel::sbPush(uint64_t drain_time, uint32_t count)
+{
+    // Stores drain in order: drain times are made monotone like ROB
+    // completion times, and same-cycle drains coalesce into one entry.
+    const uint64_t t = std::max(drain_time, sb_last_drain_);
+    sb_last_drain_ = t;
+    if (!sb_.empty() && sb_.back().time == t) {
+        sb_.back().count += count;
+    } else {
+        sb_.push_back({t, count, true});
+    }
+    sb_count_ += count;
+}
+
+void
 CoreModel::resolveFrontend()
 {
     if (fetch_ready_ > cur_cycle_) {
@@ -402,23 +531,71 @@ CoreModel::resolveFrontend()
     }
 }
 
+CoreModel::SiteFetchPlan&
+CoreModel::planFor(const trace::CodeSite& site)
+{
+    if (site.id >= plans_.size()) {
+        plans_.resize(site.id + 1);
+    }
+    SiteFetchPlan& plan = plans_[site.id];
+    if (plan.address != site.address) {
+        // First sighting, or a relayout pass moved the block.
+        rebuildPlan(plan, site);
+    }
+    return plan;
+}
+
+void
+CoreModel::rebuildPlan(SiteFetchPlan& plan, const trace::CodeSite& site)
+{
+    const uint32_t line_bytes = params_.l1i.line_bytes;
+    const uint64_t first = site.address / line_bytes;
+    const uint64_t last = (site.address + site.bytes - 1) / line_bytes;
+    plan.address = site.address;
+    plan.first_line = first;
+    plan.page = site.address >> 12;
+    plan.line_count = static_cast<uint32_t>(last - first + 1);
+    plan.slots.resize(plan.line_count);
+    for (uint32_t k = 0; k < plan.line_count; ++k) {
+        // Seed every hint with way 0 of the line's own set: same-set by
+        // construction, so touchIfResident()'s tag compare is sound from
+        // the first use.
+        plan.slots[k] = caches_.l1i().setBaseSlot(first + k);
+    }
+}
+
 void
 CoreModel::onBlock(const trace::CodeSite& site)
 {
+    if (reference_stepping_) {
+        referenceOnBlock(site);
+        return;
+    }
     if (attr_cur_ != nullptr) {
         attr_cur_ = &attrAt(site.id);
     }
-    // Frontend: fetch the block's cache lines through L1i and the iTLB.
-    const uint32_t line = params_.l1i.line_bytes;
-    const uint64_t first = site.address / line;
-    const uint64_t last = (site.address + site.bytes - 1) / line;
+    // Frontend: fetch the block's cache lines through L1i and the iTLB,
+    // walking the site's precomputed fetch plan. A line whose resident-
+    // way hint still holds it takes the inline hit arm; anything else
+    // falls back to the full access and refreshes the hint. Counter
+    // order within the fetch phase is not observable (the next possible
+    // observation point is dispatch), so the access tallies post in bulk.
+    SiteFetchPlan& plan = planFor(site);
+    Cache& l1i = caches_.l1i();
+    const uint32_t lines = plan.line_count;
+    stats_.l1i_accesses += lines;
+    if (attr_cur_ != nullptr) {
+        attr_cur_->l1i_accesses += lines;
+    }
     int fetch_penalty = 0;
-    for (uint64_t l = first; l <= last; ++l) {
-        ++stats_.l1i_accesses;
-        const AccessResult r = caches_.fetchAccess(l * line);
-        if (attr_cur_ != nullptr) {
-            ++attr_cur_->l1i_accesses;
+    uint32_t* slots = plan.slots.data();
+    for (uint32_t k = 0; k < lines; ++k) {
+        const uint64_t l = plan.first_line + k;
+        if (l1i.touchIfResident(l, slots[k])) {
+            continue; // L1i hit with exact hit-arm bookkeeping.
         }
+        const AccessResult r = caches_.fetchLineAccess(l);
+        slots[k] = l1i.mruSlot();
         if (r.l1_miss) {
             ++stats_.l1i_misses;
             if (attr_cur_ != nullptr) {
@@ -429,7 +606,7 @@ CoreModel::onBlock(const trace::CodeSite& site)
                          r.latency - params_.latencies.l1);
         }
     }
-    if (!itlb_.access(site.address)) {
+    if (!itlb_.accessPage(plan.page)) {
         ++stats_.itlb_misses;
         if (attr_cur_ != nullptr) {
             ++attr_cur_->itlb_misses;
@@ -472,15 +649,84 @@ CoreModel::onBlock(const trace::CodeSite& site)
 }
 
 void
+CoreModel::referenceOnBlock(const trace::CodeSite& site)
+{
+    // Pre-fast-forward implementation: recompute the line span per event
+    // and walk every line through the full cache access path.
+    if (attr_cur_ != nullptr) {
+        attr_cur_ = &attrAt(site.id);
+    }
+    const uint32_t line = params_.l1i.line_bytes;
+    const uint64_t first = site.address / line;
+    const uint64_t last = (site.address + site.bytes - 1) / line;
+    int fetch_penalty = 0;
+    for (uint64_t l = first; l <= last; ++l) {
+        ++stats_.l1i_accesses;
+        const AccessResult r = caches_.fetchAccess(l * line);
+        if (attr_cur_ != nullptr) {
+            ++attr_cur_->l1i_accesses;
+        }
+        if (r.l1_miss) {
+            ++stats_.l1i_misses;
+            if (attr_cur_ != nullptr) {
+                ++attr_cur_->l1i_misses;
+            }
+            fetch_penalty =
+                std::max(fetch_penalty,
+                         r.latency - params_.latencies.l1);
+        }
+    }
+    if (!itlb_.access(site.address)) {
+        ++stats_.itlb_misses;
+        if (attr_cur_ != nullptr) {
+            ++attr_cur_->itlb_misses;
+        }
+        fetch_penalty += params_.latencies.itlb_miss;
+    }
+    if (fetch_penalty > 0) {
+        const uint64_t ready = cur_cycle_ + fetch_penalty;
+        if (ready > fetch_ready_) {
+            fetch_ready_ = ready;
+            fetch_reason_ = StallCause::Frontend;
+        }
+    }
+
+    const bool load_dep = site.kind == trace::SiteKind::BlockLoadDep;
+    uint32_t remaining = site.instructions;
+    const uint32_t max_chunk = static_cast<uint32_t>(
+        std::min(params_.rob_size, params_.rs_size));
+    while (remaining > 0) {
+        const uint32_t chunk = std::min(remaining, max_chunk);
+        resolveFrontend();
+        ensureRobSpace(chunk);
+        ensureRsSpace(chunk);
+        uint64_t issue = cur_cycle_ + 1;
+        if (load_dep && last_load_complete_ > issue) {
+            issue = last_load_complete_;
+        }
+        robPush(issue, chunk, load_dep);
+        rsPush(std::min(issue, cur_cycle_ + 15), chunk, load_dep);
+        dispatch(chunk);
+        remaining -= chunk;
+    }
+}
+
+void
 CoreModel::onBranch(const trace::CodeSite& site, bool taken)
 {
+    if (reference_stepping_) {
+        referenceOnBranch(site, taken);
+        return;
+    }
     if (attr_cur_ != nullptr) {
         attr_cur_ = &attrAt(site.id);
         ++attr_cur_->branches;
     }
     ++stats_.branches;
-    const bool predicted = predictor_->predict(site.address);
-    predictor_->update(site.address, taken);
+    // One devirtualizable call per branch instead of the predict() +
+    // update() virtual pair; behaviour is identical by construction.
+    const bool predicted =
+        predictor_->predictAndUpdate(site.address, taken);
 
     resolveFrontend();
     ensureRobSpace(1);
@@ -529,8 +775,133 @@ CoreModel::onBranch(const trace::CodeSite& site, bool taken)
 }
 
 void
+CoreModel::referenceOnBranch(const trace::CodeSite& site, bool taken)
+{
+    // Pre-fast-forward implementation: separate predict() and update()
+    // virtual calls.
+    if (attr_cur_ != nullptr) {
+        attr_cur_ = &attrAt(site.id);
+        ++attr_cur_->branches;
+    }
+    ++stats_.branches;
+    const bool predicted = predictor_->predict(site.address);
+    predictor_->update(site.address, taken);
+
+    resolveFrontend();
+    ensureRobSpace(1);
+    ensureRsSpace(1);
+
+    uint64_t resolve = cur_cycle_ + 1;
+    if (site.kind == trace::SiteKind::BranchLoadDep) {
+        resolve = std::max(resolve, last_load_complete_);
+    }
+
+    robPush(resolve, 1, false);
+    rsPush(std::min(resolve, cur_cycle_ + 15), 1,
+           site.kind == trace::SiteKind::BranchLoadDep);
+    dispatch(1);
+
+    if (predicted != taken) {
+        ++stats_.branch_mispredicts;
+        if (attr_cur_ != nullptr) {
+            ++attr_cur_->branch_mispredicts;
+        }
+        const uint64_t ready =
+            resolve + static_cast<uint64_t>(params_.mispredict_penalty);
+        if (ready > fetch_ready_) {
+            fetch_ready_ = ready;
+            fetch_reason_ = StallCause::BadSpeculation;
+        }
+    } else if (taken) {
+        const bool btb_hit = btb_.access(site.address);
+        if (!btb_hit) {
+            ++stats_.btb_misses;
+            if (attr_cur_ != nullptr) {
+                ++attr_cur_->btb_misses;
+            }
+        }
+        const int bubble =
+            btb_hit ? params_.taken_bubble : params_.btb_miss_penalty;
+        const uint64_t ready = cur_cycle_ + bubble;
+        if (ready > fetch_ready_) {
+            fetch_ready_ = ready;
+            fetch_reason_ = StallCause::Frontend;
+        }
+    }
+}
+
+void
 CoreModel::onLoad(uint64_t addr, uint32_t bytes)
 {
+    if (reference_stepping_) {
+        referenceOnLoad(addr, bytes);
+        return;
+    }
+    resolveFrontend();
+    ensureRobSpace(1);
+    ensureRsSpace(1);
+    // Line span via shifts: line sizes are asserted powers of two, and
+    // unsigned divide/multiply by 2^k is exactly shift by k — this only
+    // dodges the hardware divide the / form costs per event.
+    const uint32_t shift = caches_.l1d().lineShift();
+    const uint64_t first = addr >> shift;
+    const uint64_t last = (addr + (bytes == 0 ? 0 : bytes - 1)) >> shift;
+    int latency = params_.latencies.l1;
+    for (uint64_t l = first; l <= last; ++l) {
+        ++stats_.l1d_accesses;
+        const AccessResult r = caches_.dataAccess(l << shift);
+        if (attr_cur_ != nullptr) {
+            ++attr_cur_->l1d_accesses;
+            attr_cur_->l1d_misses += r.l1_miss ? 1 : 0;
+            attr_cur_->l2_misses += r.l2_miss ? 1 : 0;
+            attr_cur_->l3_misses += r.l3_miss ? 1 : 0;
+        }
+        if (r.l1_miss) {
+            ++stats_.l1d_misses;
+        }
+        if (r.l2_miss) {
+            ++stats_.l2_misses;
+        }
+        if (r.l3_miss) {
+            ++stats_.l3_misses;
+        }
+        latency = std::max(latency, r.latency);
+    }
+
+    // Miss-status-holding registers bound memory-level parallelism: a
+    // miss beyond the outstanding limit starts only when the oldest one
+    // completes. mshr_head_ caches the oldest outstanding completion
+    // (UINT64_MAX when empty), so the common no-expiry case skips the
+    // pruning scan entirely; the queue itself is untouched until a head
+    // actually expires, which pops the same entries the stepped loop
+    // would.
+    uint64_t complete = cur_cycle_ + latency;
+    if (latency > params_.latencies.l1) {
+        if (mshr_head_ <= cur_cycle_) {
+            while (!mshr_.empty() && mshr_.front() <= cur_cycle_) {
+                mshr_.pop_front();
+            }
+            mshr_head_ = mshr_.empty() ? UINT64_MAX : mshr_.front();
+        }
+        if (static_cast<int>(mshr_.size()) >= params_.mshr_entries) {
+            complete = mshr_.front() + latency;
+        }
+        mshr_.push_back(complete);
+        mshr_head_ = mshr_.front();
+    }
+    last_load_complete_ = complete;
+    robPush(complete, 1, true);
+    // Loads leave the reservation station at issue (address generation),
+    // not at data return; only a bounded scheduler dwell is charged. The
+    // in-order-retire ROB carries the full miss latency.
+    rsPush(cur_cycle_ + std::min(latency, 15), 1, true);
+    dispatch(1);
+}
+
+void
+CoreModel::referenceOnLoad(uint64_t addr, uint32_t bytes)
+{
+    // Pre-fast-forward implementation: unconditional MSHR pruning scan.
     resolveFrontend();
     ensureRobSpace(1);
     ensureRsSpace(1);
@@ -559,9 +930,6 @@ CoreModel::onLoad(uint64_t addr, uint32_t bytes)
         latency = std::max(latency, r.latency);
     }
 
-    // Miss-status-holding registers bound memory-level parallelism: a
-    // miss beyond the outstanding limit starts only when the oldest one
-    // completes.
     uint64_t complete = cur_cycle_ + latency;
     if (latency > params_.latencies.l1) {
         while (!mshr_.empty() && mshr_.front() <= cur_cycle_) {
@@ -574,9 +942,6 @@ CoreModel::onLoad(uint64_t addr, uint32_t bytes)
     }
     last_load_complete_ = complete;
     robPush(complete, 1, true);
-    // Loads leave the reservation station at issue (address generation),
-    // not at data return; only a bounded scheduler dwell is charged. The
-    // in-order-retire ROB carries the full miss latency.
     rsPush(cur_cycle_ + std::min(latency, 15), 1, true);
     dispatch(1);
 }
@@ -584,6 +949,54 @@ CoreModel::onLoad(uint64_t addr, uint32_t bytes)
 void
 CoreModel::onStore(uint64_t addr, uint32_t bytes)
 {
+    if (reference_stepping_) {
+        referenceOnStore(addr, bytes);
+        return;
+    }
+    resolveFrontend();
+    ensureRobSpace(1);
+    ensureRsSpace(1);
+    ensureSbSpace(1);
+    // Same shift-based line math as onLoad (line sizes are 2^k).
+    const uint32_t shift = caches_.l1d().lineShift();
+    const uint64_t first = addr >> shift;
+    const uint64_t last = (addr + (bytes == 0 ? 0 : bytes - 1)) >> shift;
+    int latency = params_.latencies.l1;
+    for (uint64_t l = first; l <= last; ++l) {
+        ++stats_.l1d_accesses;
+        const AccessResult r = caches_.dataAccess(l << shift); // write-alloc
+        if (attr_cur_ != nullptr) {
+            ++attr_cur_->l1d_accesses;
+            attr_cur_->l1d_misses += r.l1_miss ? 1 : 0;
+            attr_cur_->l2_misses += r.l2_miss ? 1 : 0;
+            attr_cur_->l3_misses += r.l3_miss ? 1 : 0;
+        }
+        if (r.l1_miss) {
+            ++stats_.l1d_misses;
+        }
+        if (r.l2_miss) {
+            ++stats_.l2_misses;
+        }
+        if (r.l3_miss) {
+            ++stats_.l3_misses;
+        }
+        latency = std::max(latency, r.latency);
+    }
+
+    // Stores retire promptly but occupy the store buffer until the line
+    // is written; a full SB blocks dispatch (space reserved above).
+    sbPush(cur_cycle_ + latency, 1);
+
+    robPush(cur_cycle_ + 1, 1, false);
+    rsPush(cur_cycle_ + 1, 1, false);
+    dispatch(1);
+}
+
+void
+CoreModel::referenceOnStore(uint64_t addr, uint32_t bytes)
+{
+    // Pre-fast-forward implementation: division-based line math and the
+    // store-buffer push open-coded (pre-sbPush).
     resolveFrontend();
     ensureRobSpace(1);
     ensureRsSpace(1);
@@ -613,8 +1026,6 @@ CoreModel::onStore(uint64_t addr, uint32_t bytes)
         latency = std::max(latency, r.latency);
     }
 
-    // Stores retire promptly but occupy the store buffer until the line
-    // is written; a full SB blocks dispatch (space reserved above).
     const uint64_t drain_time = cur_cycle_ + latency;
     const uint64_t drain_monotone = std::max(drain_time, sb_last_drain_);
     sb_last_drain_ = drain_monotone;
@@ -636,17 +1047,25 @@ CoreModel::onBatch(const trace::ProbeEvent* events, size_t count)
     // Direct batch consumption: the same member functions handle each
     // record in emission order (qualified calls — no virtual dispatch),
     // so the resulting stats are bit-identical to the per-event path.
+    // Loop-heavy streams repeat the same site id back to back, so a
+    // one-entry cache skips the registry lookup for the repeat case
+    // (CodeSite objects are stable once defined).
     trace::SiteRegistry& reg = trace::registry();
+    const trace::CodeSite* last_site = nullptr;
+    uint32_t last_aux = 0;
     for (size_t i = 0; i < count; ++i) {
         const trace::ProbeEvent& e = events[i];
         switch (e.kind) {
         case trace::ProbeEvent::kBlock:
-            CoreModel::onBlock(reg.site(e.aux));
-            break;
         case trace::ProbeEvent::kBlockBranch: {
-            const trace::CodeSite& site = reg.site(e.aux);
-            CoreModel::onBlock(site);
-            CoreModel::onBranch(site, (e.flags & 1) != 0);
+            if (last_site == nullptr || e.aux != last_aux) {
+                last_site = &reg.site(e.aux);
+                last_aux = e.aux;
+            }
+            CoreModel::onBlock(*last_site);
+            if (e.kind == trace::ProbeEvent::kBlockBranch) {
+                CoreModel::onBranch(*last_site, (e.flags & 1) != 0);
+            }
             break;
         }
         case trace::ProbeEvent::kLoad:

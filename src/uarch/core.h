@@ -66,6 +66,14 @@ struct CoreParams
                                   ///< current trace::CodeSite.
     uint64_t phase_window = 0;    ///< Cumulative-counter snapshot every N
                                   ///< retired instructions (0 = off).
+
+    /** Test-only: step the model one retired instruction at a time and
+     *  walk every fetch line through the full cache path, as the model
+     *  did before the event-driven fast-forward (DESIGN.md §13). The
+     *  differential suite and the microbench's model-sink gate run the
+     *  same stream through both paths and require bit-identical
+     *  CoreStats/SiteUarch; production code never sets this. */
+    bool reference_stepping = false;
 };
 
 /**
@@ -234,12 +242,50 @@ class CoreModel : public trace::ProbeSink
         BackendCore,
     };
 
+    /**
+     * Precomputed instruction-fetch geometry of one code site. The
+     * block's L1i line span and iTLB page are pure functions of the
+     * site's (immutable) size and its layout address, so they are
+     * computed once per site — and rebuilt only if a relayout pass
+     * rewrites the address (`address` is the validity key). `slots`
+     * additionally remembers, per line, the cache way the line was last
+     * resident in; Cache::touchIfResident() re-validates the hint on
+     * every use, so a stale slot costs one failed tag compare, never a
+     * wrong result.
+     */
+    struct SiteFetchPlan
+    {
+        /// No site ever lands at this address (layout starts at
+        /// SiteRegistry::kTextBase and grows).
+        static constexpr uint64_t kNoAddress = UINT64_MAX;
+
+        uint64_t address = kNoAddress; ///< site.address at build time.
+        uint64_t first_line = 0;       ///< First L1i line index.
+        uint64_t page = 0;             ///< iTLB page (address >> 12).
+        uint32_t line_count = 0;       ///< Lines spanned by the block.
+        std::vector<uint32_t> slots;   ///< Resident-way hint per line.
+    };
+
     /** Advances dispatch to `target_cycle`, attributing empty slots. */
     void advanceTo(uint64_t target_cycle, StallCause cause);
 
     /** Dispatches `count` retiring instructions (handles cycle rollover
-     *  and frontend-availability stalls). */
+     *  and frontend-availability stalls). Event-driven: the whole span
+     *  advances in closed form — see DESIGN.md §13 for the argument
+     *  that this is bit-exact vs the stepped reference path. */
     void dispatch(uint32_t count);
+
+    /** The pre-fast-forward implementations, retained verbatim for the
+     *  differential suite (CoreParams::reference_stepping). */
+    void referenceDispatch(uint32_t count);
+    void referenceOnBlock(const trace::CodeSite& site);
+    void referenceOnBranch(const trace::CodeSite& site, bool taken);
+    void referenceOnLoad(uint64_t addr, uint32_t bytes);
+    void referenceOnStore(uint64_t addr, uint32_t bytes);
+
+    /** The fetch plan for `site` (built or rebuilt on demand). */
+    SiteFetchPlan& planFor(const trace::CodeSite& site);
+    void rebuildPlan(SiteFetchPlan& plan, const trace::CodeSite& site);
 
     /** Stalls dispatch until the frontend has instructions available. */
     void resolveFrontend();
@@ -255,6 +301,10 @@ class CoreModel : public trace::ProbeSink
 
     /** Pushes an RS entry freed at `free` (space must have been ensured). */
     void rsPush(uint64_t free, uint32_t count, bool is_mem);
+
+    /** Pushes `count` store-buffer entries draining at `drain_time`
+     *  (space must have been ensured; completion times made monotone). */
+    void sbPush(uint64_t drain_time, uint32_t count);
 
     /** Frees entries whose time has passed. */
     void drain();
@@ -303,6 +353,19 @@ class CoreModel : public trace::ProbeSink
 
     uint64_t last_load_complete_ = 0;
     RingBuffer<uint64_t> mshr_; ///< Completion times of in-flight misses.
+
+    /** mshr_.front() (UINT64_MAX when empty), cached so onLoad skips the
+     *  head-pruning loop entirely while the oldest miss is still in the
+     *  future — the common case on a streaming miss train. */
+    uint64_t mshr_head_ = UINT64_MAX;
+
+    /** Per-site fetch plans, indexed by trace::CodeSite::id (grown on
+     *  demand like attr_sites_). */
+    std::vector<SiteFetchPlan> plans_;
+
+    /** CoreParams::reference_stepping, hoisted (one predictable branch
+     *  at the top of each event handler selects the retained path). */
+    bool reference_stepping_ = false;
 
     CoreStats stats_;
     bool finished_ = false;

@@ -40,34 +40,47 @@ class Tlb
     bool
     access(uint64_t addr)
     {
+        return accessPage(addr >> 12);
+    }
+
+    /** access() with the page number already computed (per-site fetch
+     *  plans precompute it once per site). Same bookkeeping. */
+    bool
+    accessPage(uint64_t page)
+    {
         ++accesses_;
         ++tick_;
-        const uint64_t page = addr >> 12;
         if (page == mru_page_) {
             mru_entry_->lru = tick_;
             return true;
         }
         const uint32_t set = static_cast<uint32_t>(page) & set_mask_;
         Entry* base = &slots_[static_cast<size_t>(set) * kWays];
+        // Fused hit + victim scan (same idiom as Cache::scanLine): track
+        // the first invalid way, else the first minimum-lru way, while
+        // looking for the page. Identical replacement to two passes.
+        Entry* invalid = nullptr;
+        Entry* lru_entry = base;
         for (uint32_t w = 0; w < kWays; ++w) {
-            if (base[w].valid && base[w].page == page) {
-                base[w].lru = tick_;
+            Entry& e = base[w];
+            if (!e.valid) {
+                if (invalid == nullptr) {
+                    invalid = &e;
+                }
+                continue;
+            }
+            if (e.page == page) {
+                e.lru = tick_;
                 mru_page_ = page;
-                mru_entry_ = &base[w];
+                mru_entry_ = &e;
                 return true;
+            }
+            if (e.lru < lru_entry->lru) {
+                lru_entry = &e;
             }
         }
         ++misses_;
-        Entry* victim = base;
-        for (uint32_t w = 0; w < kWays; ++w) {
-            if (!base[w].valid) {
-                victim = &base[w];
-                break;
-            }
-            if (base[w].lru < victim->lru) {
-                victim = &base[w];
-            }
-        }
+        Entry* victim = invalid != nullptr ? invalid : lru_entry;
         victim->valid = true;
         victim->page = page;
         victim->lru = tick_;

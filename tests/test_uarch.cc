@@ -539,6 +539,223 @@ TEST(CoreBatch, BranchHeavyStatsAreBitIdentical)
     }
 }
 
+// ---- Event-driven fast-forward vs stepped reference (bit-identity) --------
+
+/** Everything one optimized/reference run pair must agree on. */
+struct DiffRun
+{
+    CoreStats stats;
+    std::vector<SiteUarch> sites;
+    SiteUarch unattributed;
+    std::vector<PhaseSample> phases;
+};
+
+/** Drives a deterministic pseudo-random probe stream — blocks of several
+ *  sizes (some load-dependent), hard and learnable branches, loads over a
+ *  wandering working set, stores — through one CoreModel. */
+DiffRun
+runProbeStream(CoreParams params, bool reference, uint32_t batch)
+{
+    VT_SITE(blk_a, "coretest.diff.blk_a", 96, 11, Block);
+    VT_SITE(blk_b, "coretest.diff.blk_b", 40, 5, Block);
+    VT_SITE(blk_c, "coretest.diff.blk_c", 200, 23, BlockLoadDep);
+    VT_SITE(br_a, "coretest.diff.br_a", 16, 2, Branch);
+    VT_SITE(br_b, "coretest.diff.br_b", 12, 1, BranchLoadDep);
+    params.reference_stepping = reference;
+    CoreModel model(params);
+    trace::setSink(&model, batch);
+    Rng rng(0xd1ffe4e57ull);
+    uint64_t addr = 0x700000000ull;
+    for (int i = 0; i < 12000; ++i) {
+        switch (rng.below(6)) {
+          case 0:
+            trace::block(blk_a);
+            break;
+          case 1:
+            trace::block(blk_b);
+            break;
+          case 2: // Feed the load-dependent block.
+            trace::load(addr, static_cast<uint32_t>(8 + rng.below(64)));
+            trace::block(blk_c);
+            break;
+          case 3:
+            trace::branch(br_a, rng.chance(0.37)); // Hard to predict.
+            break;
+          case 4: // Load-dependent branch.
+            trace::load(addr + rng.below(1u << 22), 4);
+            trace::branch(br_b, rng.chance(0.61));
+            break;
+          default:
+            trace::store(addr + rng.below(1u << 18), 16);
+            break;
+        }
+        addr += 64 * rng.below(1024); // Wandering working set: mixed hits
+                                      // and misses at every cache level.
+    }
+    trace::setSink(nullptr);
+    DiffRun r;
+    r.stats = model.finish();
+    r.sites = model.attributionPerSite();
+    r.unattributed = model.attributionUnattributed();
+    r.phases = model.phaseSamples();
+    return r;
+}
+
+void
+expectSameSite(const SiteUarch& a, const SiteUarch& b,
+               const std::string& what)
+{
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.slots_retiring, b.slots_retiring) << what;
+    EXPECT_EQ(a.slots_frontend, b.slots_frontend) << what;
+    EXPECT_EQ(a.slots_bad_spec, b.slots_bad_spec) << what;
+    EXPECT_EQ(a.slots_backend_memory, b.slots_backend_memory) << what;
+    EXPECT_EQ(a.slots_backend_core, b.slots_backend_core) << what;
+    EXPECT_EQ(a.branches, b.branches) << what;
+    EXPECT_EQ(a.branch_mispredicts, b.branch_mispredicts) << what;
+    EXPECT_EQ(a.l1d_accesses, b.l1d_accesses) << what;
+    EXPECT_EQ(a.l1d_misses, b.l1d_misses) << what;
+    EXPECT_EQ(a.l2_misses, b.l2_misses) << what;
+    EXPECT_EQ(a.l3_misses, b.l3_misses) << what;
+    EXPECT_EQ(a.l1i_accesses, b.l1i_accesses) << what;
+    EXPECT_EQ(a.l1i_misses, b.l1i_misses) << what;
+    EXPECT_EQ(a.itlb_misses, b.itlb_misses) << what;
+    EXPECT_EQ(a.btb_misses, b.btb_misses) << what;
+}
+
+void
+expectSameRun(const DiffRun& opt, const DiffRun& ref,
+              const std::string& what)
+{
+    const CoreStats& a = opt.stats;
+    const CoreStats& b = ref.stats;
+    EXPECT_EQ(a.instructions, b.instructions) << what;
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.branches, b.branches) << what;
+    EXPECT_EQ(a.branch_mispredicts, b.branch_mispredicts) << what;
+    EXPECT_EQ(a.l1d_accesses, b.l1d_accesses) << what;
+    EXPECT_EQ(a.l1d_misses, b.l1d_misses) << what;
+    EXPECT_EQ(a.l2_misses, b.l2_misses) << what;
+    EXPECT_EQ(a.l3_misses, b.l3_misses) << what;
+    EXPECT_EQ(a.l1i_accesses, b.l1i_accesses) << what;
+    EXPECT_EQ(a.l1i_misses, b.l1i_misses) << what;
+    EXPECT_EQ(a.itlb_misses, b.itlb_misses) << what;
+    EXPECT_EQ(a.btb_misses, b.btb_misses) << what;
+    EXPECT_EQ(a.slots_total, b.slots_total) << what;
+    EXPECT_EQ(a.slots_retiring, b.slots_retiring) << what;
+    EXPECT_EQ(a.slots_frontend, b.slots_frontend) << what;
+    EXPECT_EQ(a.slots_bad_spec, b.slots_bad_spec) << what;
+    EXPECT_EQ(a.slots_backend_memory, b.slots_backend_memory) << what;
+    EXPECT_EQ(a.slots_backend_core, b.slots_backend_core) << what;
+    EXPECT_EQ(a.slots_rob_stall, b.slots_rob_stall) << what;
+    EXPECT_EQ(a.slots_rs_stall, b.slots_rs_stall) << what;
+    EXPECT_EQ(a.slots_sb_stall, b.slots_sb_stall) << what;
+
+    ASSERT_EQ(opt.sites.size(), ref.sites.size()) << what;
+    for (size_t s = 0; s < opt.sites.size(); ++s) {
+        expectSameSite(opt.sites[s], ref.sites[s],
+                       what + " site " + std::to_string(s));
+    }
+    expectSameSite(opt.unattributed, ref.unattributed,
+                   what + " unattributed");
+
+    ASSERT_EQ(opt.phases.size(), ref.phases.size()) << what;
+    for (size_t s = 0; s < opt.phases.size(); ++s) {
+        const PhaseSample& p = opt.phases[s];
+        const PhaseSample& q = ref.phases[s];
+        const std::string ctx = what + " phase " + std::to_string(s);
+        EXPECT_EQ(p.instructions, q.instructions) << ctx;
+        EXPECT_EQ(p.cycles, q.cycles) << ctx;
+        EXPECT_EQ(p.slots_retiring, q.slots_retiring) << ctx;
+        EXPECT_EQ(p.slots_frontend, q.slots_frontend) << ctx;
+        EXPECT_EQ(p.slots_bad_spec, q.slots_bad_spec) << ctx;
+        EXPECT_EQ(p.slots_backend_memory, q.slots_backend_memory) << ctx;
+        EXPECT_EQ(p.slots_backend_core, q.slots_backend_core) << ctx;
+        EXPECT_EQ(p.branches, q.branches) << ctx;
+        EXPECT_EQ(p.branch_mispredicts, q.branch_mispredicts) << ctx;
+        EXPECT_EQ(p.l1d_misses, q.l1d_misses) << ctx;
+        EXPECT_EQ(p.l2_misses, q.l2_misses) << ctx;
+        EXPECT_EQ(p.l3_misses, q.l3_misses) << ctx;
+        EXPECT_EQ(p.l1i_misses, q.l1i_misses) << ctx;
+    }
+}
+
+/** The tentpole's differential suite: the fast-forward model must be
+ *  bit-identical to the retained stepped reference across dispatch
+ *  widths, every Table IV row, batched and per-event delivery, and all
+ *  four instrumentation states (attribution x phase sampling — each
+ *  selects a different dispatch code path). */
+TEST(CoreDifferential, FastForwardMatchesReferenceStepping)
+{
+    std::vector<CoreParams> bases;
+    for (int w : {1, 2, 4, 6}) {
+        CoreParams p = baselineConfig();
+        p.name = "baseline.w" + std::to_string(w);
+        p.width = w;
+        bases.push_back(p);
+    }
+    for (const char* name : {"fe_op", "be_op1", "be_op2", "bs_op"}) {
+        bases.push_back(configByName(name));
+    }
+
+    int combo = 0;
+    for (const CoreParams& base : bases) {
+        for (uint32_t batch : {0u, 256u}) {
+            // Cycle the instrumentation combos so each of the four
+            // dispatch paths meets several widths and configs.
+            CoreParams p = base;
+            p.attribute_sites = (combo & 1) != 0;
+            p.phase_window = (combo & 2) != 0 ? 4096 : 0;
+            ++combo;
+            const std::string what =
+                p.name + " batch=" + std::to_string(batch)
+                + " attr=" + std::to_string(p.attribute_sites)
+                + " phase=" + std::to_string(p.phase_window);
+            const DiffRun opt = runProbeStream(p, false, batch);
+            const DiffRun ref = runProbeStream(p, true, batch);
+            EXPECT_GT(opt.stats.instructions, 50000u) << what;
+            expectSameRun(opt, ref, what);
+        }
+    }
+}
+
+/** Fully instrumented pairing on every width (the loop above cycles
+ *  combos, so pin the heaviest one — attribution + phases — here). */
+TEST(CoreDifferential, InstrumentedFastForwardMatchesOnAllWidths)
+{
+    for (int w : {1, 2, 4, 6}) {
+        CoreParams p = baselineConfig();
+        p.width = w;
+        p.attribute_sites = true;
+        p.phase_window = 1000; // Off-width-multiple boundaries.
+        const std::string what = "instrumented w" + std::to_string(w);
+        const DiffRun opt = runProbeStream(p, false, 256);
+        const DiffRun ref = runProbeStream(p, true, 256);
+        ASSERT_GT(opt.phases.size(), 50u) << what;
+        expectSameRun(opt, ref, what);
+    }
+}
+
+// ---- Resource-stall PKI rounding (regression) ------------------------------
+
+/** Stall-slot counts that are not a multiple of the width must not be
+ *  truncated to whole stall cycles: 6 slots at width 4 is 1.5 cycles,
+ *  not 1 (the old integer slots/width division dropped the remainder
+ *  before scaling to per-kilo). */
+TEST(CoreStatsMetrics, ResourceStallPkiKeepsPartialCycles)
+{
+    CoreStats s;
+    s.width = 4;
+    s.instructions = 1000;
+    s.slots_rob_stall = 6;  // 1.5 stall cycles.
+    s.slots_rs_stall = 3;   // 0.75 — all remainder under integer division.
+    s.slots_sb_stall = 5;   // 1.25.
+    EXPECT_DOUBLE_EQ(s.robStallsPki(), 1.5);
+    EXPECT_DOUBLE_EQ(s.rsStallsPki(), 0.75);
+    EXPECT_DOUBLE_EQ(s.sbStallsPki(), 1.25);
+    EXPECT_DOUBLE_EQ(s.anyResourceStallsPki(), 3.5);
+}
+
 // ---- Table IV configs ----------------------------------------------------
 
 TEST(Config, TableIVRows)
