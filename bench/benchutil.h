@@ -9,12 +9,15 @@
  * compared against the paper's figures directly.
  */
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "codec/strategies/strategies.h"
 #include "common/cli.h"
+#include "common/rng.h"
 #include "common/status.h"
 #include "core/parallel.h"
 #include "core/studies.h"
@@ -43,6 +46,67 @@ struct BenchOptions
     std::string uarch_report_out; ///< Attribution JSON path ("" = none).
     std::string uarch_baseline; ///< Baseline JSON to diff against.
     uint64_t phase_window = 0;  ///< Phase sample window (instructions).
+};
+
+/**
+ * Fixed-seed Zipf(s) rank sampler — the popularity model of a
+ * repeat-heavy transcoding service, where a handful of titles dominate
+ * the request stream. Rank 0 is the most popular item; rank k is drawn
+ * with probability proportional to 1/(k+1)^s via inverse-CDF over the
+ * precomputed cumulative weights, so sampling is O(log n) and the
+ * sequence is a pure function of (n, s, seed) — deterministic across
+ * platforms, shared verbatim by the sustained-load bench, the farm
+ * example's --zipf-s mode, and the distribution sanity test.
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(size_t items, double s, uint64_t seed)
+        : rng_(seed), cdf_(items)
+    {
+        VT_ASSERT(items > 0, "Zipf needs at least one item");
+        VT_ASSERT(s >= 0.0, "Zipf exponent must be >= 0, got ", s);
+        double sum = 0.0;
+        for (size_t k = 0; k < items; ++k) {
+            sum += 1.0 / std::pow(static_cast<double>(k + 1), s);
+            cdf_[k] = sum;
+        }
+        for (double& c : cdf_) {
+            c /= sum;
+        }
+    }
+
+    /** Draws the next rank in [0, items). */
+    size_t next()
+    {
+        const double u = rng_.uniform();
+        const size_t rank = static_cast<size_t>(
+            std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+        return std::min(rank, cdf_.size() - 1);
+    }
+
+    /**
+     * Draws an exponential inter-arrival gap at `rate` requests per
+     * simulated second (the Poisson arrival process the sustained-load
+     * mode paces submissions with).
+     */
+    double nextArrivalGap(double rate)
+    {
+        VT_ASSERT(rate > 0.0, "arrival rate must be positive");
+        return -std::log1p(-rng_.uniform()) / rate;
+    }
+
+    /** The exact sampling probability of a rank. */
+    double probability(size_t rank) const
+    {
+        return cdf_.at(rank) - (rank == 0 ? 0.0 : cdf_[rank - 1]);
+    }
+
+    size_t items() const { return cdf_.size(); }
+
+  private:
+    Rng rng_;
+    std::vector<double> cdf_; ///< Normalized cumulative popularity.
 };
 
 /** The tracer wall-time sweep spans land in when --trace-out is set. */

@@ -18,6 +18,17 @@
  * see chunk/chunk.h), comparing p50/p99 service latency of both arms
  * and reporting the chunk-boundary quality/size cost.
  *
+ * --zipf-s S adds a fourth part: a Zipf(S)-popular, Poisson-paced
+ * sustained-load stream (default 2000 jobs over a 48-item catalog)
+ * run with the result cache serving hits vs not — the throughput/p99
+ * cliff content addressing removes on a repeat-heavy service.
+ * --zipf-jobs N, --zipf-items K, --zipf-load L (arrival rate as a
+ * multiple of measured fleet capacity, default 1.2), --cache-mb M size
+ * the experiment; --out writes the A/B as BENCH_cache.json and
+ * --min-p99-gain G gates cached p99 at >= G x better than uncached.
+ * --zipf-knee additionally sweeps load x {smart,random} and prints the
+ * shed/latency knee per dispatch policy.
+ *
  * Note: wall-clock speedup tracks the *physical* core count. On a
  * single-core host every worker count measures ~1x; the determinism
  * check is unaffected.
@@ -26,10 +37,12 @@
 #include <chrono>
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <set>
 #include <thread>
 #include <vector>
 
+#include "bench/benchutil.h"
 #include "chunk/chunk.h"
 #include "common/cli.h"
 #include "common/rng.h"
@@ -96,6 +109,99 @@ runAt(const std::vector<farm::JobRequest>& stream,
         prints[r.id] = r.result_fingerprint;
     }
     return prints;
+}
+
+/** A catalog of `items` distinct renditions (the periods of the four
+ *  cycled dimensions are coprime enough that tuples stay unique for any
+ *  catalog under 408 items). */
+std::vector<sched::Task>
+makeZipfCatalog(int items)
+{
+    const std::vector<std::string> videos = {
+        "desktop", "holi",    "presentation", "game2",
+        "hall",    "bike",    "cat",          "girl",
+    };
+    const std::vector<std::string> presets = {"veryfast", "fast",
+                                              "medium"};
+    std::vector<sched::Task> catalog;
+    for (int i = 0; i < items; ++i) {
+        sched::Task t;
+        t.video = videos[i % videos.size()];
+        t.preset = presets[(i / videos.size()) % presets.size()];
+        t.crf = 18 + i % 17;
+        t.refs = 1 + (i / 2) % 4;
+        catalog.push_back(t);
+    }
+    return catalog;
+}
+
+/** A Zipf-popular, Poisson-paced request stream: ranks drawn Zipf(s)
+ *  over the catalog, inter-arrival gaps exponential at `rate` requests
+ *  per simulated second. Pure function of (catalog, jobs, s, rate,
+ *  seed). */
+std::vector<farm::JobRequest>
+makeZipfStream(const std::vector<sched::Task>& catalog, int jobs,
+               double s, double rate, uint64_t seed)
+{
+    bench::ZipfSampler zipf(catalog.size(), s, seed);
+    std::vector<farm::JobRequest> stream;
+    double t = 0.0;
+    for (int i = 0; i < jobs; ++i) {
+        farm::JobRequest req;
+        req.task = catalog[zipf.next()];
+        t += zipf.nextArrivalGap(rate);
+        req.submit_time = t;
+        stream.push_back(req);
+    }
+    return stream;
+}
+
+/** Outcome of one sustained-load arm. */
+struct ZipfArm
+{
+    farm::FarmMetrics metrics;
+    farm::CacheStats cache;  ///< Store activity during the drain.
+    double hit_fraction = 0; ///< Done jobs served as hit/wait.
+};
+
+/**
+ * Runs the stream once. `serve_hits` is the A/B lever: both arms share
+ * `memo` so the real encodes happen once across the whole experiment —
+ * only the *modeled* schedule differs. The cached arm plans cold
+ * (cache_plan_cold) so it measures a cache filling under load, not one
+ * pre-warmed by the opposite arm.
+ */
+ZipfArm
+runZipfArm(const std::vector<farm::JobRequest>& stream,
+           const farm::FarmOptions& base,
+           std::shared_ptr<farm::ResultCache> memo, bool serve_hits,
+           farm::DispatchPolicy policy)
+{
+    farm::FarmOptions options = base;
+    options.workers = 0;
+    options.dispatch = policy;
+    options.shared_cache = std::move(memo);
+    options.cache_serve_hits = serve_hits;
+    options.cache_plan_cold = serve_hits;
+    farm::Farm service(options);
+    for (const auto& req : stream) {
+        service.submit(req);
+    }
+    service.drain();
+    ZipfArm arm;
+    arm.metrics = service.metrics();
+    arm.cache = service.cacheDrainStats();
+    size_t done = 0;
+    size_t hits = 0;
+    for (const auto& r : service.log().records()) {
+        if (r.state == farm::JobState::Done) {
+            ++done;
+            hits += r.cache_hit ? 1 : 0;
+        }
+    }
+    arm.hit_fraction =
+        done == 0 ? 0.0 : static_cast<double>(hits) / done;
+    return arm;
 }
 
 } // namespace
@@ -316,5 +422,187 @@ main(int argc, char** argv)
                     dbitrate);
     }
 
-    return (all_identical && smart_wins && chunk_pass) ? 0 : 1;
+    // --- Part 4: Zipf sustained load, cache on vs off (--zipf-s) ------
+    bool zipf_pass = true;
+    if (cli.has("zipf-s")) {
+        const double s = cli.real("zipf-s", 1.1);
+        const int zjobs = static_cast<int>(cli.num("zipf-jobs", 2000));
+        const int zitems = static_cast<int>(cli.num("zipf-items", 48));
+        const double load = cli.real("zipf-load", 1.2);
+        const double min_gain = cli.real("min-p99-gain", 0.0);
+        const auto catalog = makeZipfCatalog(zitems);
+
+        farm::FarmOptions zbase = base;
+        zbase.fault_rate = 0.0; // Clean A/B: no retry noise in either arm.
+        farm::CacheOptions cache_opts;
+        cache_opts.max_bytes =
+            static_cast<size_t>(cli.num("cache-mb", 256)) << 20;
+        auto memo = std::make_shared<farm::ResultCache>(cache_opts);
+
+        // Calibrate fleet capacity: one drain with each catalog item
+        // exactly once (serve off). Its mean measured service time sets
+        // the arrival rate at `load` x capacity — and its encodes warm
+        // the shared memo, so the arms below are wall-cheap while their
+        // *simulated* schedules stay exactly what a cold run measures.
+        size_t fleet_size = 0;
+        double mean_svc = 0.0;
+        {
+            farm::FarmOptions options = zbase;
+            options.workers = 0;
+            options.shared_cache = memo;
+            farm::Farm service(options);
+            double at = 0.0;
+            for (const auto& task : catalog) {
+                farm::JobRequest req;
+                req.task = task;
+                req.submit_time = at;
+                service.submit(req);
+                at += 1e-4;
+            }
+            service.drain();
+            fleet_size = service.fleet().size();
+            size_t done = 0;
+            for (const auto& r : service.log().records()) {
+                if (r.state == farm::JobState::Done) {
+                    mean_svc += r.actual_seconds;
+                    ++done;
+                }
+            }
+            VT_ASSERT(done > 0, "Zipf calibration drain completed nothing");
+            mean_svc /= static_cast<double>(done);
+        }
+        const double rate =
+            load * static_cast<double>(fleet_size) / mean_svc;
+        const auto zstream =
+            makeZipfStream(catalog, zjobs, s, rate, seed);
+
+        const auto uncached =
+            runZipfArm(zstream, zbase, memo, false,
+                       farm::DispatchPolicy::Smart);
+        const auto cached =
+            runZipfArm(zstream, zbase, memo, true,
+                       farm::DispatchPolicy::Smart);
+
+        std::printf("\nzipf sustained load: %d jobs over %d items, "
+                    "s=%.2f, rate %.0f jobs/sim-s (%.1fx capacity)\n\n",
+                    zjobs, zitems, s, rate, load);
+        Table ab({"arm", "completed", "shed", "jobs/sim-s",
+                  "p50 (ms)", "p95 (ms)", "p99 (ms)", "hit rate"});
+        const std::vector<std::pair<std::string, const ZipfArm*>> arms = {
+            {"uncached", &uncached}, {"cached", &cached}};
+        for (const auto& [name, arm] : arms) {
+            ab.beginRow();
+            ab.cell(name);
+            ab.cell(static_cast<int64_t>(arm->metrics.completed));
+            ab.cell(static_cast<int64_t>(arm->metrics.shed));
+            ab.cell(arm->metrics.throughput, 1);
+            ab.cell(arm->metrics.p50_latency * 1000.0, 3);
+            ab.cell(arm->metrics.p95_latency * 1000.0, 3);
+            ab.cell(arm->metrics.p99_latency * 1000.0, 3);
+            ab.cell(formatPercent(arm->hit_fraction, 1));
+        }
+        std::printf("%s\n", ab.toText().c_str());
+
+        const double p99_gain =
+            uncached.metrics.p99_latency
+            / std::max(cached.metrics.p99_latency, 1e-12);
+        const double thr_gain =
+            cached.metrics.throughput
+            / std::max(uncached.metrics.throughput, 1e-12);
+        const bool reconciled =
+            cached.cache.lookups
+                == cached.cache.hits + cached.cache.misses
+            && cached.cache.bytes <= cache_opts.max_bytes;
+        zipf_pass = reconciled && cached.hit_fraction > 0.0
+                    && cached.metrics.completed
+                           >= uncached.metrics.completed
+                    && (min_gain <= 0.0
+                        || (p99_gain >= min_gain && thr_gain >= 1.0));
+        std::printf("cache A/B: %s - p99 gain x%.2f, throughput gain "
+                    "x%.2f, hit rate %.1f%%, store %s (lookups %llu = "
+                    "hits %llu + misses %llu, %.1f MiB retained)\n",
+                    zipf_pass ? "PASS" : "FAIL", p99_gain, thr_gain,
+                    cached.hit_fraction * 100.0,
+                    reconciled ? "reconciled" : "INCONSISTENT",
+                    static_cast<unsigned long long>(cached.cache.lookups),
+                    static_cast<unsigned long long>(cached.cache.hits),
+                    static_cast<unsigned long long>(cached.cache.misses),
+                    static_cast<double>(cached.cache.bytes)
+                        / (1024.0 * 1024.0));
+
+        const std::string out_path = cli.str("out", "");
+        if (!out_path.empty()) {
+            std::FILE* f = std::fopen(out_path.c_str(), "w");
+            if (f == nullptr) {
+                std::printf("bench json NOT written (cannot open %s)\n",
+                            out_path.c_str());
+            } else {
+                auto arm_json = [&](const char* name, const ZipfArm& a) {
+                    std::fprintf(
+                        f,
+                        "  \"%s\": {\"completed\": %zu, \"shed\": %zu, "
+                        "\"throughput_jobs_per_sim_s\": %.3f, "
+                        "\"p50_ms\": %.4f, \"p95_ms\": %.4f, "
+                        "\"p99_ms\": %.4f, \"hit_rate\": %.4f}",
+                        name, a.metrics.completed, a.metrics.shed,
+                        a.metrics.throughput,
+                        a.metrics.p50_latency * 1000.0,
+                        a.metrics.p95_latency * 1000.0,
+                        a.metrics.p99_latency * 1000.0, a.hit_fraction);
+                };
+                std::fprintf(f,
+                             "{\n  \"bench\": \"zipf_sustained_load\",\n"
+                             "  \"jobs\": %d,\n  \"items\": %d,\n"
+                             "  \"zipf_s\": %.3f,\n  \"load\": %.3f,\n"
+                             "  \"rate_jobs_per_sim_s\": %.3f,\n"
+                             "  \"fleet\": %zu,\n",
+                             zjobs, zitems, s, load, rate, fleet_size);
+                arm_json("uncached", uncached);
+                std::fprintf(f, ",\n");
+                arm_json("cached", cached);
+                std::fprintf(f,
+                             ",\n  \"p99_gain\": %.4f,\n"
+                             "  \"throughput_gain\": %.4f,\n"
+                             "  \"pass\": %s\n}\n",
+                             p99_gain, thr_gain,
+                             zipf_pass ? "true" : "false");
+                std::fclose(f);
+                std::printf("bench json: %s\n", out_path.c_str());
+            }
+        }
+
+        // Optional knee sweep: where does each dispatch policy start
+        // shedding, and what does the cache do to that knee?
+        if (cli.has("zipf-knee")) {
+            Table knee({"load", "policy", "arm", "completed", "shed",
+                        "p99 (ms)"});
+            for (const double l : {0.6, 0.9, 1.2, 1.5}) {
+                const double r = l * static_cast<double>(fleet_size)
+                                 / mean_svc;
+                const auto ks =
+                    makeZipfStream(catalog, zjobs, s, r, seed);
+                for (const auto policy : {farm::DispatchPolicy::Smart,
+                                          farm::DispatchPolicy::Random}) {
+                    for (const bool serve : {false, true}) {
+                        const auto arm =
+                            runZipfArm(ks, zbase, memo, serve, policy);
+                        knee.beginRow();
+                        knee.cell(l, 1);
+                        knee.cell(farm::toString(policy));
+                        knee.cell(serve ? "cached" : "uncached");
+                        knee.cell(static_cast<int64_t>(
+                            arm.metrics.completed));
+                        knee.cell(
+                            static_cast<int64_t>(arm.metrics.shed));
+                        knee.cell(arm.metrics.p99_latency * 1000.0, 3);
+                    }
+                }
+            }
+            std::printf("\nshed/latency knee per dispatch policy:\n%s\n",
+                        knee.toText().c_str());
+        }
+    }
+
+    return (all_identical && smart_wins && chunk_pass && zipf_pass) ? 0
+                                                                    : 1;
 }

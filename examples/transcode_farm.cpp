@@ -22,6 +22,15 @@
  * N retired instructions into counter tracks of the `--trace-out`
  * Chrome trace.
  *
+ * With `--zipf-s S` the request stream's content popularity follows a
+ * Zipf(S) distribution over the catalog (instead of round-robin) with
+ * exponential inter-arrival gaps, and the content-addressed result
+ * cache *serves* repeats: a job whose (source, params, class) digest is
+ * already cached completes at hit cost, concurrent identical requests
+ * single-flight behind one encode. `--cache-mb M` sizes the cache
+ * (default 256). The run prints the cache hit/miss/eviction counters
+ * next to the service metrics.
+ *
  * With `--chunked` every request is submitted as a GOP-chunked job graph
  * (split -> parallel chunk encodes -> dependent stitch, see
  * chunk/chunk.h): `--chunk-frames N` sets the boundary spacing in frames
@@ -33,6 +42,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/benchutil.h"
 #include "chunk/chunk.h"
 #include "common/cli.h"
 #include "common/rng.h"
@@ -50,7 +60,7 @@ using namespace vtrans;
 /** The service's job mix: content classes cycled with seeded priorities,
  *  deadlines, and Poisson-ish arrival spacing. */
 std::vector<farm::JobRequest>
-makeJobStream(int jobs, int retries, uint64_t seed)
+makeJobStream(int jobs, int retries, uint64_t seed, double zipf_s)
 {
     const std::vector<sched::Task> catalog = {
         {"desktop", 30, 8, "veryfast"}, {"holi", 10, 1, "slow"},
@@ -61,11 +71,17 @@ makeJobStream(int jobs, int retries, uint64_t seed)
         {"house", 23, 3, "medium"},     {"landscape", 27, 2, "faster"},
     };
     Rng rng(seed);
+    // Zipf mode: content popularity instead of round-robin — the
+    // repeat-heavy shape of a real rendition service, which is what the
+    // result cache converts into hit-cost completions.
+    bench::ZipfSampler zipf(catalog.size(), zipf_s > 0.0 ? zipf_s : 1.0,
+                            seed ^ 0x5a1full);
     std::vector<farm::JobRequest> stream;
     double t = 0.0;
     for (int i = 0; i < jobs; ++i) {
         farm::JobRequest req;
-        req.task = catalog[i % catalog.size()];
+        req.task = catalog[zipf_s > 0.0 ? zipf.next()
+                                        : i % catalog.size()];
         req.submit_time = t;
         req.priority = static_cast<int>(rng.below(3)); // 0..2
         if (rng.chance(0.3)) {
@@ -76,7 +92,8 @@ makeJobStream(int jobs, int retries, uint64_t seed)
         stream.push_back(req);
         // Mean inter-arrival ~0.25 ms of simulated time: enough pressure
         // to keep a backlog in front of the four-server fleet.
-        t += 0.0005 * rng.uniform();
+        t += zipf_s > 0.0 ? zipf.nextArrivalGap(4000.0)
+                          : 0.0005 * rng.uniform();
     }
     return stream;
 }
@@ -156,6 +173,30 @@ runPolicy(const std::vector<farm::JobRequest>& stream,
                         .toText().c_str());
         printGraphSummary(service.log());
     }
+    if (print && options.cache_serve_hits) {
+        const farm::CacheStats cs = service.cacheDrainStats();
+        size_t done = 0;
+        size_t hits = 0;
+        for (const auto& r : service.log().records()) {
+            if (r.state == farm::JobState::Done) {
+                ++done;
+                hits += r.cache_hit ? 1 : 0;
+            }
+        }
+        std::printf("result cache: %zu/%zu jobs served as hits "
+                    "(%.1f%%); store: %llu lookups = %llu hits + %llu "
+                    "misses, %llu single-flight waits, %llu evictions, "
+                    "%.2f MiB in %llu entries\n\n",
+                    hits, done,
+                    done == 0 ? 0.0 : 100.0 * hits / done,
+                    static_cast<unsigned long long>(cs.lookups),
+                    static_cast<unsigned long long>(cs.hits),
+                    static_cast<unsigned long long>(cs.misses),
+                    static_cast<unsigned long long>(cs.inflight_waits),
+                    static_cast<unsigned long long>(cs.evictions),
+                    static_cast<double>(cs.bytes) / (1024.0 * 1024.0),
+                    static_cast<unsigned long long>(cs.entries));
+    }
     if (!log_path.empty()) {
         // A failed export must not take down the service run — the
         // results above are already computed and printed.
@@ -195,6 +236,10 @@ main(int argc, char** argv)
     base.workers = static_cast<int>(cli.num("workers", 0));
     base.fault_rate = cli.real("faults", 0.0);
     base.verbose = cli.has("verbose");
+    const double zipf_s = cli.real("zipf-s", 0.0);
+    base.cache.max_bytes =
+        static_cast<size_t>(cli.num("cache-mb", 256)) << 20;
+    base.cache_serve_hits = zipf_s > 0.0;
     const auto queue_policy =
         farm::queuePolicyFromName(cli.str("queue", "fifo"));
 
@@ -205,12 +250,13 @@ main(int argc, char** argv)
         chunking.max_chunks = static_cast<int>(cli.num("max-chunks", 0));
     }
 
-    const auto stream = makeJobStream(jobs, retries, seed);
+    const auto stream = makeJobStream(jobs, retries, seed, zipf_s);
     std::printf("Transcoding farm: %d jobs, %.2fs clips, fault rate "
-                "%.0f%%, queue=%s%s\n\n",
+                "%.0f%%, queue=%s%s%s\n\n",
                 jobs, base.clip_seconds, base.fault_rate * 100.0,
                 farm::toString(queue_policy).c_str(),
-                chunking.enabled() ? ", chunked" : "");
+                chunking.enabled() ? ", chunked" : "",
+                zipf_s > 0.0 ? ", zipf + result cache" : "");
 
     // Validate flags before the (multi-second) warm-up, so a typo fails
     // fast; then pre-warm outside any comparison so every policy pays

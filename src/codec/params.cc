@@ -1,5 +1,8 @@
 #include "codec/params.h"
 
+#include <cstdio>
+#include <sstream>
+
 #include "common/status.h"
 
 namespace vtrans::codec {
@@ -144,6 +147,79 @@ presetParams(const std::string& name, bool preset_refs)
         p.refs = table_refs;
     }
     return p;
+}
+
+namespace {
+
+/** Shortest round-trip rendering of a double (canonical, locale-free). */
+std::string
+canonNumber(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+canonicalString(const EncoderParams& p)
+{
+    // Fixed order, one `tag=value;` per active field. Inert fields are
+    // omitted entirely (not rendered with defaults) so their values can
+    // never split configs that encode identically. The preset label is
+    // deliberately absent — presetParams("medium") and a hand-built
+    // default EncoderParams are the same encoding.
+    std::ostringstream out;
+    out << "rc=" << toString(p.rc) << ';';
+    switch (p.rc) {
+      case RateControl::CQP:
+        out << "qp=" << p.qp << ';';
+        break;
+      case RateControl::CRF:
+        out << "crf=" << p.crf << ';';
+        break;
+      case RateControl::ABR:
+      case RateControl::TwoPass:
+      case RateControl::CBR:
+        out << "kbps=" << canonNumber(p.bitrate_kbps) << ';';
+        break;
+      case RateControl::VBV:
+        out << "crf=" << p.crf << ';'
+            << "vbv=" << canonNumber(p.vbv_maxrate_kbps) << ','
+            << canonNumber(p.vbv_buffer_kbits) << ';';
+        break;
+    }
+    out << "refs=" << p.refs << ';' << "keyint=" << p.keyint << ';'
+        << "bframes=" << p.bframes << ';';
+    if (p.bframes > 0) {
+        out << "badapt=" << p.b_adapt << ';';
+    }
+    out << "scenecut=" << p.scenecut << ';' << "me=" << toString(p.me)
+        << ';' << "merange=" << p.merange << ';' << "subme=" << p.subme
+        << ';' << "parts=" << int(p.partitions.p8x8)
+        << int(p.partitions.i4x4) << int(p.partitions.i8x8) << ';'
+        << "trellis=" << p.trellis << ';' << "aq=" << p.aq_mode << ';';
+    if (p.aq_mode != 0) {
+        out << "aqs=" << canonNumber(p.aq_strength) << ';';
+    }
+    out << "deblock=" << int(p.deblock) << ';';
+    if (p.deblock) {
+        out << "dbab=" << p.deblock_alpha << ',' << p.deblock_beta << ';';
+    }
+    return out.str();
+}
+
+uint64_t
+canonicalDigest(const EncoderParams& p)
+{
+    const std::string canon = canonicalString(p);
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : canon) {
+        h ^= static_cast<uint8_t>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
 }
 
 std::string

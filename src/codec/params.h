@@ -100,6 +100,27 @@ const std::vector<std::string>& presetNames();
  */
 EncoderParams presetParams(const std::string& name, bool preset_refs = false);
 
+/**
+ * Canonical serialization of a parameter set: a fixed-order, tagged
+ * rendering of exactly the fields that influence the encoded bitstream
+ * under the set's active modes. Fields that are inert for the current
+ * configuration are omitted — `qp` matters only under CQP, the bitrate
+ * target only under ABR/2-pass/CBR, the VBV pair only under VBV,
+ * `aq_strength` only when AQ is on, the deblock offsets only when the
+ * filter is enabled, `b_adapt` only when B-frames exist — and the
+ * `preset` *name* is never included (it is a label, not a parameter).
+ * Two parameter sets that encode identically therefore canonicalize
+ * identically, however they were constructed.
+ */
+std::string canonicalString(const EncoderParams& params);
+
+/**
+ * Stable 64-bit FNV-1a digest of `canonicalString(params)` — the
+ * encoder-parameter component of the farm's content-addressed cache
+ * keys. Order- and default-insensitive per canonicalString's contract.
+ */
+uint64_t canonicalDigest(const EncoderParams& params);
+
 /** Human-readable name of a rate-control mode. */
 std::string toString(RateControl rc);
 /** Human-readable name of an ME method. */

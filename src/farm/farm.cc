@@ -17,6 +17,16 @@ namespace vtrans::farm {
 /** One planned dispatch of a job onto a server. */
 struct Farm::Attempt
 {
+    /** How the result cache serves this attempt (cache_serve_hits on).
+     *  `None` is the serve-OFF mode: every attempt timed as a full
+     *  encode, schedule bit-identical to the pre-cache farm. */
+    enum class Cache : uint8_t {
+        None,    ///< Hit modeling off (or fixed-time stitch).
+        Compute, ///< This attempt runs the encode (or faulted mid-run).
+        Hit,     ///< Ready entry: serves in cache_hit_seconds.
+        Wait,    ///< Single-flight wait on an in-flight provider.
+    };
+
     uint64_t job_id = 0;
     std::string key;          ///< Task signature of the job.
     int server = 0;           ///< Fleet id.
@@ -25,6 +35,8 @@ struct Farm::Attempt
     double predicted = 0;     ///< Predicted seconds on this server.
     bool failed = false;      ///< Fault-injector verdict.
     bool fixed = false;       ///< Known service time (stitch job).
+    Cache cache = Cache::None;
+    int provider = -1;        ///< Attempt index this Wait rides on.
 };
 
 namespace {
@@ -86,6 +98,9 @@ Farm::Farm(FarmOptions options)
         workers = 1;
     }
     pool_ = std::make_unique<WorkerPool>(workers);
+    cache_ = options_.shared_cache
+                 ? options_.shared_cache
+                 : std::make_shared<ResultCache>(options_.cache);
 }
 
 Farm::~Farm()
@@ -200,6 +215,68 @@ Farm::submitted() const
 }
 
 void
+Farm::digestKey(const std::string& key, const sched::Task& task)
+{
+    if (digests_.count(key)) {
+        return;
+    }
+    KeyDigest d;
+    d.params_digest = codec::canonicalDigest(task.params());
+    const auto it = chunk_work_.find(key);
+    if (it == chunk_work_.end()) {
+        const auto& bytes =
+            core::mezzanine(task.video, options_.clip_seconds);
+        d.source_fp = fnv1a(bytes.data(), bytes.size());
+    } else {
+        // A chunk encodes its slice set as independent closed-GOP units,
+        // so its content is the *framed* slice sequence: a "chunk" tag
+        // plus each slice's length keep a one-chunk graph from aliasing
+        // the whole-clip encode of the same bytes, and distinct slice
+        // partitions from aliasing each other.
+        const ChunkWork& work = it->second;
+        uint64_t fp = fnv1a(std::string("chunk:"));
+        for (int i = 0; i < work.segment_count; ++i) {
+            const auto& src =
+                work.plan->segments[work.first_segment + i].source;
+            fp = fnv1a(std::to_string(src.size()) + "/", fp);
+            fp = fnv1a(src.data(), src.size(), fp);
+        }
+        d.source_fp = fp;
+    }
+    digests_.emplace(key, d);
+}
+
+CacheKey
+Farm::cacheKeyFor(const std::string& key, const std::string& config) const
+{
+    return makeCacheKey(digests_.at(key).source_fp,
+                        digests_.at(key).params_digest, config);
+}
+
+const core::RunResult&
+Farm::resultFor(const std::string& key, const std::string& config) const
+{
+    return *drain_results_.at(cacheKeyFor(key, config));
+}
+
+CacheStats
+Farm::cacheDrainStats() const
+{
+    const CacheStats now = cache_->stats();
+    CacheStats d;
+    d.lookups = now.lookups - drain_base_.lookups;
+    d.hits = now.hits - drain_base_.hits;
+    d.misses = now.misses - drain_base_.misses;
+    d.inflight_waits = now.inflight_waits - drain_base_.inflight_waits;
+    d.evictions = now.evictions - drain_base_.evictions;
+    d.expirations = now.expirations - drain_base_.expirations;
+    d.rejected = now.rejected - drain_base_.rejected;
+    d.bytes = now.bytes;
+    d.entries = now.entries;
+    return d;
+}
+
+void
 Farm::characterize(const std::vector<Job>& jobs)
 {
     // Unique task signatures (first job seen defines the task). Stitch
@@ -229,35 +306,54 @@ Farm::characterize(const std::vector<Job>& jobs)
     ref.video = options_.reference_video;
     const std::string ref_key = "reference/" + options_.reference_video;
 
+    // Content digests of every signature, hashed serially before any
+    // pool fan-out (the mezzanine/slice bytes are generated here too,
+    // so workers only ever read them).
+    digestKey(ref_key, ref);
+    for (const auto& [key, task] : key_tasks_) {
+        digestKey(key, task);
+    }
+
     struct BaselineRun
     {
         std::string key;
         sched::Task task;
-        core::RunResult result;
+        ResultCache::Value result;
     };
     std::vector<BaselineRun> baseline_runs;
-    baseline_runs.push_back({ref_key, ref, {}});
+    baseline_runs.push_back({ref_key, ref, nullptr});
     for (const auto& [key, task] : key_tasks_) {
-        baseline_runs.push_back({key, task, {}});
+        baseline_runs.push_back({key, task, nullptr});
     }
-    std::vector<core::RunResult> cal_runs(cal_names.size());
+    std::vector<ResultCache::Value> cal_runs(cal_names.size());
 
-    // All characterization runs are independent: fan out on the pool.
+    // All characterization runs are independent: fan out on the pool,
+    // through the cache — a warm entry (prior drain, sibling farm)
+    // skips the encode entirely, and single-flight dedups identical
+    // signatures racing across farms.
     std::vector<std::function<void()>> tasks;
     const uarch::CoreParams baseline = uarch::baselineConfig();
     for (auto& run : baseline_runs) {
         tasks.push_back([&run, &baseline, this] {
-            run.result = runTask(run.key, run.task, baseline);
+            const CacheKey ck = cacheKeyFor(run.key, "baseline");
+            ResultCache::Value value = cache_->getOrCompute(ck, [&] {
+                return runTask(run.key, run.task, baseline);
+            });
+            std::lock_guard<std::mutex> lock(results_mu_);
+            drain_results_.emplace(ck, value);
+            run.result = std::move(value);
         });
     }
     for (size_t c = 0; c < cal_names.size(); ++c) {
-        tasks.push_back([this, &cal_runs, &cal_names, &ref, c] {
-            core::RunConfig cfg;
-            cfg.video = ref.video;
-            cfg.seconds = options_.clip_seconds;
-            cfg.params = ref.params();
-            cfg.core = uarch::configByName(cal_names[c]);
-            cal_runs[c] = core::runInstrumented(cfg);
+        tasks.push_back([this, &cal_runs, &cal_names, &ref, &ref_key, c] {
+            const CacheKey ck = cacheKeyFor(ref_key, cal_names[c]);
+            ResultCache::Value value = cache_->getOrCompute(ck, [&] {
+                return runTask(ref_key, ref,
+                               uarch::configByName(cal_names[c]));
+            });
+            std::lock_guard<std::mutex> lock(results_mu_);
+            drain_results_.emplace(ck, value);
+            cal_runs[c] = std::move(value);
         });
     }
     if (options_.verbose) {
@@ -269,10 +365,10 @@ Farm::characterize(const std::vector<Job>& jobs)
     pool_->run(std::move(tasks));
 
     // Calibrate relief and learn every task's baseline profile.
-    const auto& ref_base = baseline_runs.front().result;
+    const auto& ref_base = *baseline_runs.front().result;
     std::vector<double> cal_seconds;
     for (const auto& r : cal_runs) {
-        cal_seconds.push_back(r.transcode_seconds);
+        cal_seconds.push_back(r->transcode_seconds);
     }
     if (!cal_names.empty()) {
         predictor_.setRelief(
@@ -282,11 +378,8 @@ Farm::characterize(const std::vector<Job>& jobs)
                                    cal_seconds));
     }
     for (auto& run : baseline_runs) {
-        predictor_.learn(run.key, run.result.transcode_seconds,
-                         run.result.core.topdown());
-        // Baseline results are reusable by baseline-config servers.
-        results_.emplace(std::make_pair(run.key, std::string("baseline")),
-                         run.result);
+        predictor_.learn(run.key, run.result->transcode_seconds,
+                         run.result->core.topdown());
     }
 }
 
@@ -358,6 +451,23 @@ Farm::plan(std::vector<Job> jobs)
     const bool matching =
         options_.dispatch == DispatchPolicy::Smart
         || options_.dispatch == DispatchPolicy::SmartDeadline;
+
+    // Cache-hit modeling (cache_serve_hits): the planner runs the same
+    // state machine the store itself implements — the first dispatch of
+    // a digest computes and *provides*; dispatches while the provider is
+    // still running wait on it (single-flight) and serve at hit cost
+    // when it lands; dispatches after it landed, or whose digest is
+    // already cached from a prior drain, are plain hits. Everything is
+    // decided on the event clock, so the schedule stays bit-identical
+    // at any worker count.
+    const bool serve = options_.cache_serve_hits;
+    const double hit_cost = std::max(options_.cache_hit_seconds, 1e-9);
+    struct Provider
+    {
+        double finish = 0.0; ///< Event-clock finish of the compute.
+        int index = -1;      ///< Index into `attempts`.
+    };
+    std::map<CacheKey, Provider> providers;
 
     double t = jobs.empty() ? 0.0 : jobs.front().submit_time;
     while (true) {
@@ -462,12 +572,47 @@ Farm::plan(std::vector<Job> jobs)
             }
 
             const bool fixed = job.fixed_seconds > 0.0;
-            const double predicted =
+            double predicted =
                 fixed ? job.fixed_seconds
                       : predictor_.predict(job.key(), fleet_[server].config);
             const bool fails = injector_.fails(job.id, job.attempts);
-            attempts.push_back({job.id, job.key(), server, job.attempts, t,
-                                predicted, fails, fixed});
+            Attempt att;
+            att.job_id = job.id;
+            att.key = job.key();
+            att.server = server;
+            att.number = job.attempts;
+            att.planned_start = t;
+            att.failed = fails;
+            att.fixed = fixed;
+            if (serve && !fixed) {
+                const CacheKey ck =
+                    cacheKeyFor(job.key(), fleet_[server].config);
+                const auto pv = providers.find(ck);
+                const bool landed =
+                    pv != providers.end() && pv->second.finish <= t;
+                const bool warm = !options_.cache_plan_cold
+                                  && pv == providers.end()
+                                  && cache_->contains(ck);
+                if (fails) {
+                    // A faulted attempt burns the full encode and never
+                    // publishes: the fault/retry pattern is identical
+                    // with the cache on or off.
+                    att.cache = Attempt::Cache::Compute;
+                } else if (warm || landed) {
+                    att.cache = Attempt::Cache::Hit;
+                    predicted = hit_cost;
+                } else if (pv != providers.end()) {
+                    att.cache = Attempt::Cache::Wait;
+                    att.provider = pv->second.index;
+                    predicted = (pv->second.finish - t) + hit_cost;
+                } else {
+                    att.cache = Attempt::Cache::Compute;
+                    providers[ck] = {t + predicted,
+                                     static_cast<int>(attempts.size())};
+                }
+            }
+            att.predicted = predicted;
+            attempts.push_back(std::move(att));
             busy[server] = t + predicted;
             idle.erase(std::find(idle.begin(), idle.end(), server));
 
@@ -513,12 +658,15 @@ Farm::plan(std::vector<Job> jobs)
 void
 Farm::execute(const std::vector<Attempt>& attempts)
 {
-    // Unique (task, config) pairs still to run; retries and replicas of
-    // the same config reuse one deterministic result. Fixed-time stitch
-    // attempts run no transcode — but each graph needs the *unchunked*
-    // whole-video encode of its task as the quality reference the run
-    // log reports boundary cost against.
+    // Unique content digests still to run; retries, replicas of the
+    // same config, and aliased signatures reuse one deterministic
+    // result — a warm cache entry costs no encode at all, and
+    // single-flight dedups races against sibling farms on a shared
+    // cache. Fixed-time stitch attempts run no transcode — but each
+    // graph needs the *unchunked* whole-video encode of its task as
+    // the quality reference the run log reports boundary cost against.
     std::vector<std::pair<std::string, std::string>> pending;
+    std::set<CacheKey> scheduled;
     std::vector<std::pair<std::string, sched::Task>> ref_pending;
     for (const Attempt& a : attempts) {
         if (a.fixed) {
@@ -537,12 +685,11 @@ Farm::execute(const std::vector<Attempt>& attempts)
             }
             continue;
         }
-        const auto key = std::make_pair(a.key, fleet_[a.server].config);
-        if (results_.count(key) == 0
-            && std::find(pending.begin(), pending.end(), key)
-                   == pending.end()) {
-            pending.push_back(key);
+        const CacheKey ck = cacheKeyFor(a.key, fleet_[a.server].config);
+        if (drain_results_.count(ck) != 0 || !scheduled.insert(ck).second) {
+            continue;
         }
+        pending.push_back({a.key, fleet_[a.server].config});
     }
     // Longest-predicted-first keeps the pool balanced near the tail.
     std::sort(pending.begin(), pending.end(),
@@ -555,11 +702,13 @@ Farm::execute(const std::vector<Attempt>& attempts)
     std::vector<std::function<void()>> tasks;
     for (const auto& key : pending) {
         tasks.push_back([this, key] {
-            core::RunResult result =
-                runTask(key.first, key_tasks_.at(key.first),
-                        uarch::configByName(key.second));
+            const CacheKey ck = cacheKeyFor(key.first, key.second);
+            ResultCache::Value value = cache_->getOrCompute(ck, [&] {
+                return runTask(key.first, key_tasks_.at(key.first),
+                               uarch::configByName(key.second));
+            });
             std::lock_guard<std::mutex> lock(results_mu_);
-            results_.emplace(key, std::move(result));
+            drain_results_.emplace(ck, std::move(value));
         });
     }
     for (const auto& ref : ref_pending) {
@@ -658,7 +807,10 @@ Farm::account(const std::vector<Job>& jobs,
         return it->second.frames;
     };
 
-    for (const Attempt& a : attempts) {
+    const double hit_cost = std::max(options_.cache_hit_seconds, 1e-9);
+    std::vector<double> attempt_finish(attempts.size(), 0.0);
+    for (size_t ai = 0; ai < attempts.size(); ++ai) {
+        const Attempt& a = attempts[ai];
         JobRecord& rec = records.at(a.job_id);
         const Job& job = *by_id.at(a.job_id);
 
@@ -671,32 +823,40 @@ Farm::account(const std::vector<Job>& jobs,
             // in chunk order — into the final stream. Every dependency
             // is Done here (the planner never dispatches a blocked job
             // early), and whichever server config ran a chunk produced
-            // the same bytes, so the result cache under the config of
+            // the same bytes, so the result pinned under the config of
             // the chunk's final successful attempt is authoritative.
             std::vector<const std::vector<uint8_t>*> outputs;
             for (uint64_t dep : job.blocked_by) {
                 const Job& chunk_job = *by_id.at(dep);
-                outputs.push_back(&results_
-                                       .at(std::make_pair(
-                                           chunk_job.key(),
-                                           done_config.at(dep)))
-                                       .output);
+                outputs.push_back(
+                    &resultFor(chunk_job.key(), done_config.at(dep))
+                         .output);
                 dep_ready = std::max(dep_ready, finish_of.at(dep));
             }
             stitched = chunk::stitch(outputs);
             actual = chunk::stitchSeconds(stitched.size());
         } else {
-            result = &results_.at(
-                std::make_pair(a.key, fleet_[a.server].config));
-            actual = result->transcode_seconds;
+            result = &resultFor(a.key, fleet_[a.server].config);
+            actual = a.cache == Attempt::Cache::Hit
+                         ? hit_cost
+                         : result->transcode_seconds;
         }
         const double r = ready.count(a.job_id) ? ready.at(a.job_id)
                                                : rec.submit;
         const double start =
             std::max({r, server_free[a.server], dep_ready});
-        const double finish = start + actual;
+        double finish = start + actual;
+        if (a.cache == Attempt::Cache::Wait) {
+            // Single-flight replay with *measured* times: this attempt
+            // rides its provider — it serves at hit cost once the
+            // provider's (measured) compute lands, however that differs
+            // from the planned timeline.
+            finish = std::max(attempt_finish[a.provider], start) + hit_cost;
+            actual = finish - start;
+        }
         server_free[a.server] = finish;
         finish_of[a.job_id] = finish;
+        attempt_finish[ai] = finish;
         if (!a.failed) {
             done_config[a.job_id] = fleet_[a.server].config;
         }
@@ -726,6 +886,8 @@ Farm::account(const std::vector<Job>& jobs,
         rec.attempts = a.number + 1;
         rec.server = a.server;
         rec.server_name = fleet_[a.server].name;
+        rec.cache_hit = a.cache == Attempt::Cache::Hit
+                        || a.cache == Attempt::Cache::Wait;
         rec.predicted_seconds = a.predicted;
         rec.actual_seconds = actual;
         rec.finish = finish;
@@ -764,6 +926,14 @@ Farm::account(const std::vector<Job>& jobs,
                         {"attempt", std::to_string(a.number)},
                         {"task", a.key},
                         {"outcome", a.failed ? "fault" : "ok"}};
+        if (a.cache != Attempt::Cache::None) {
+            attempt.args.emplace_back(
+                "cache", a.cache == Attempt::Cache::Hit
+                             ? "hit"
+                             : (a.cache == Attempt::Cache::Wait
+                                    ? "wait"
+                                    : "compute"));
+        }
         if (job.isChunk()) {
             attempt.args.emplace_back("parent",
                                       std::to_string(job.parent_id));
@@ -852,6 +1022,7 @@ Farm::drain()
         drained_ = true;
     }
     warmupProcess();
+    drain_base_ = cache_->stats();
 
     std::vector<Job> jobs;
     {
@@ -871,6 +1042,9 @@ Farm::drain()
         account(jobs, attempts);
     }
     recordMetrics();
+    // Age the cache by the drain's simulated duration: TTL expiry runs
+    // on the same clock every other farm decision does.
+    cache_->advance(log_.metrics(fleet_).makespan);
     return log_;
 }
 
@@ -899,6 +1073,28 @@ Farm::recordMetrics() const
     reg.gauge("farm_throughput_jobs_per_sim_second",
               "Completed jobs per simulated second of the last drain")
         .set(m.throughput);
+    const CacheStats cs = cacheDrainStats();
+    if (cs.lookups > 0 || cs.entries > 0) {
+        reg.counter("cache_hits_total",
+                    "Result-cache lookups served from a ready entry")
+            .inc(cs.hits);
+        reg.counter("cache_misses_total",
+                    "Result-cache lookups that required a compute")
+            .inc(cs.misses);
+        reg.counter("cache_inflight_waits_total",
+                    "Lookups that blocked on an in-flight compute")
+            .inc(cs.inflight_waits);
+        reg.counter("cache_evictions_total",
+                    "Entries evicted for the byte/entry budget")
+            .inc(cs.evictions);
+        reg.counter("cache_expirations_total",
+                    "Entries dropped past their TTL")
+            .inc(cs.expirations);
+        reg.gauge("cache_bytes", "Bytes retained in the result cache")
+            .set(static_cast<double>(cs.bytes));
+        reg.gauge("cache_entries", "Entries retained in the result cache")
+            .set(static_cast<double>(cs.entries));
+    }
     auto& latency = reg.histogram(
         "farm_job_latency_sim_seconds",
         "Submit-to-finish latency of completed jobs (simulated seconds)");

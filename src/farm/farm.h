@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "chunk/chunk.h"
+#include "farm/cache.h"
 #include "farm/dispatch.h"
 #include "farm/job.h"
 #include "farm/queue.h"
@@ -77,6 +78,33 @@ struct FarmOptions
 
     uint64_t rng_seed = 0x7a57ull; ///< Seed of the Random dispatch policy.
     bool verbose = false;
+
+    // Content-addressed result cache (see farm/cache.h). The cache is
+    // always the farm's result store — it replaces the old per-drain
+    // results map, deduplicating identical work safely at any worker
+    // count. Whether cache hits also *shorten the schedule* is a
+    // separate, explicitly-opted-in modeling choice:
+    CacheOptions cache;          ///< Sizing/TTL of the farm's own cache.
+    /** Share an external cache instead of owning one: results persist
+     *  across drain windows and across farms (warm starts, cross-farm
+     *  single-flight). Null = the farm builds its own from `cache`. */
+    std::shared_ptr<ResultCache> shared_cache;
+    /** Model hit service times in the schedule: an attempt whose digest
+     *  is already cached serves in `cache_hit_seconds`; one whose digest
+     *  is being computed by an earlier in-flight attempt waits for that
+     *  provider, then serves at hit cost (single-flight). OFF keeps the
+     *  seed schedule bit-identical: every attempt is timed as a full
+     *  encode even though the store already dedups the real work. */
+    bool cache_serve_hits = false;
+    double cache_hit_seconds = 5e-5; ///< Simulated service time of a hit
+                                     ///< (result handoff; same scale as
+                                     ///< the stitch remux byte model).
+    /** Plan as if the cache started this drain empty: pre-existing
+     *  entries are ignored by the scheduler (intra-drain hits still
+     *  model), while execution still reuses them as a memo. This is the
+     *  A/B lever — the bench's "cached" arm models a cold cache filling
+     *  under load without re-encoding work a previous arm measured. */
+    bool cache_plan_cold = false;
 };
 
 /**
@@ -174,6 +202,15 @@ class Farm
         return tracer_.writeChromeTrace(path);
     }
 
+    /** The result cache (the farm's own, or the shared one). */
+    ResultCache& cache() { return *cache_; }
+    const ResultCache& cache() const { return *cache_; }
+
+    /** Cache activity attributable to this farm's `drain()`: the
+     *  counter deltas between drain start and end (gauge-like fields
+     *  `bytes`/`entries` are the end-of-drain values). */
+    CacheStats cacheDrainStats() const;
+
     /** Effective worker count. */
     int workers() const;
 
@@ -234,6 +271,22 @@ class Farm
     core::RunResult runTask(const std::string& key, const sched::Task& task,
                             const uarch::CoreParams& core);
 
+    /** Computes (and memoizes) the content components of a task
+     *  signature: the fingerprint of the exact source bytes the job
+     *  encodes and the canonical digest of its encoder parameters.
+     *  Serial-phase only (characterize), before any pool fan-out. */
+    void digestKey(const std::string& key, const sched::Task& task);
+
+    /** The content-addressed key of one unit of work: digestKey's
+     *  components plus the executing server class. */
+    CacheKey cacheKeyFor(const std::string& key,
+                         const std::string& config) const;
+
+    /** The pinned result of an executed (task, config) pair (fatal if
+     *  execute() never scheduled it). */
+    const core::RunResult& resultFor(const std::string& key,
+                                     const std::string& config) const;
+
     FarmOptions options_;
     std::vector<Server> fleet_;
     std::unique_ptr<WorkerPool> pool_;
@@ -256,8 +309,22 @@ class Farm
     std::set<uint64_t> dep_failed_;   ///< Jobs killed by a failed dep.
     std::map<std::string, UnchunkedRef> unchunked_refs_; ///< Task key -> ref.
 
-    // Execution-phase result cache: (task key, config name) -> result.
-    std::map<std::pair<std::string, std::string>, core::RunResult> results_;
+    // The content-addressed result store (owned or shared; see
+    // FarmOptions) and the digest components of every task signature.
+    std::shared_ptr<ResultCache> cache_;
+    CacheStats drain_base_; ///< Cache counters at drain start.
+    struct KeyDigest
+    {
+        uint64_t source_fp = 0;     ///< FNV-1a of the exact source bytes.
+        uint64_t params_digest = 0; ///< codec::canonicalDigest of params.
+    };
+    std::map<std::string, KeyDigest> digests_; ///< Signature -> content.
+
+    // Pins of every value this drain used: eviction can drop an entry
+    // from the cache while account() still needs its bytes. Written by
+    // the execute()/characterize() pool fan-outs under results_mu_,
+    // read serially after the pool barrier.
+    std::map<CacheKey, ResultCache::Value> drain_results_;
     std::mutex results_mu_;
 };
 

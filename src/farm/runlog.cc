@@ -275,7 +275,9 @@ RunLog::toJsonl() const
         field(line, "backend_memory", r.topdown.backend_memory);
         field(line, "backend_core", r.topdown.backend_core);
         line << ",\"fingerprint\":\"" << std::hex << r.result_fingerprint
-             << std::dec << "\"}";
+             << std::dec << '"';
+        line << ",\"cache_hit\":" << (r.cache_hit ? "true" : "false")
+             << '}';
         os << line.str() << '\n';
     }
     return os.str();

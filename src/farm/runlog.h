@@ -49,6 +49,8 @@ struct JobRecord
     int server = -1;          ///< Fleet id of the final attempt (-1: shed).
     std::string server_name;  ///< "be_op1#0" (empty: shed).
     int attempts = 0;         ///< Dispatches, including the final one.
+    bool cache_hit = false;   ///< Final attempt served from the result
+                              ///< cache (ready entry or in-flight wait).
 
     // Simulated-time trajectory (seconds since farm start).
     double submit = 0.0;

@@ -7,7 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <numeric>
+#include <set>
+#include <string>
 
 #include "codec/bitstream.h"
 #include "codec/dct.h"
@@ -643,6 +646,102 @@ TEST(Params, ValidationRejectsBadValues)
     codec::EncoderParams p = codec::presetParams("medium");
     p.crf = 52;
     EXPECT_DEATH(p.validate(), "crf");
+}
+
+// ---- Canonical parameter digest (the cache's config identity) ---------------
+
+TEST(ParamsDigest, PresetLabelAndInertRateControlFieldsAreExcluded)
+{
+    // Two configs that encode identically must hash identically: the
+    // preset name is a label, and qp/bitrate are dead under CRF.
+    const codec::EncoderParams a = codec::presetParams("medium");
+    codec::EncoderParams b = a;
+    b.preset = "hand-rolled";
+    b.qp = 40;
+    b.bitrate_kbps = 9999.0;
+    b.vbv_maxrate_kbps = 0.0; // Already off; stays inert.
+    EXPECT_EQ(codec::canonicalString(a), codec::canonicalString(b));
+    EXPECT_EQ(codec::canonicalDigest(a), codec::canonicalDigest(b));
+
+    // A default-constructed medium equals the preset, label aside.
+    codec::EncoderParams plain;
+    plain.preset = "";
+    EXPECT_EQ(codec::canonicalDigest(plain),
+              codec::canonicalDigest(codec::presetParams("medium")));
+}
+
+TEST(ParamsDigest, FeatureGatedFieldsAreInertWhenTheFeatureIsOff)
+{
+    codec::EncoderParams a = codec::presetParams("medium");
+    a.aq_mode = 0;
+    a.deblock = false;
+    a.bframes = 0;
+    codec::EncoderParams b = a;
+    b.aq_strength = 2.5;   // Dead: AQ off.
+    b.deblock_alpha = 3;   // Dead: deblocking off.
+    b.deblock_beta = -2;
+    b.b_adapt = 2;         // Dead: no B frames to adapt.
+    EXPECT_EQ(codec::canonicalString(a), codec::canonicalString(b));
+    EXPECT_EQ(codec::canonicalDigest(a), codec::canonicalDigest(b));
+
+    // ...and live again once the features are on.
+    a.aq_mode = 1;
+    b.aq_mode = 1;
+    EXPECT_NE(codec::canonicalDigest(a), codec::canonicalDigest(b));
+}
+
+TEST(ParamsDigest, ActiveFieldsChangeTheDigest)
+{
+    const codec::EncoderParams base = codec::presetParams("medium");
+    const uint64_t base_digest = codec::canonicalDigest(base);
+
+    std::set<uint64_t> digests{base_digest};
+    const auto mutate = [&](auto&& fn) {
+        codec::EncoderParams p = base;
+        fn(p);
+        const uint64_t d = codec::canonicalDigest(p);
+        EXPECT_NE(d, base_digest);
+        EXPECT_TRUE(digests.insert(d).second) << "digest collision";
+    };
+    mutate([](codec::EncoderParams& p) { p.crf += 1; });
+    mutate([](codec::EncoderParams& p) { p.refs += 1; });
+    mutate([](codec::EncoderParams& p) { p.keyint = 60; });
+    mutate([](codec::EncoderParams& p) { p.subme += 1; });
+    mutate([](codec::EncoderParams& p) { p.trellis = 2; });
+    mutate([](codec::EncoderParams& p) { p.scenecut = 0; });
+    mutate([](codec::EncoderParams& p) { p.me = codec::MeMethod::Umh; });
+    mutate([](codec::EncoderParams& p) { p.aq_strength = 1.5; });
+    mutate([](codec::EncoderParams& p) { p.deblock_alpha = 2; });
+    mutate([](codec::EncoderParams& p) {
+        p.rc = codec::RateControl::ABR;
+        p.bitrate_kbps = 1000.0;
+    });
+}
+
+TEST(ParamsDigest, NoCollisionsAcrossThePresetSweepCorpus)
+{
+    // The farm's sweep corpus: every preset crossed with the crf/refs
+    // grids. Distinct canonical strings must have distinct digests.
+    std::map<uint64_t, std::string> seen;
+    int configs = 0;
+    for (const auto& name : codec::presetNames()) {
+        for (const int crf : {18, 23, 28, 34}) {
+            for (const int refs : {1, 2, 4, 8}) {
+                codec::EncoderParams p = codec::presetParams(name);
+                p.crf = crf;
+                p.refs = refs;
+                const std::string canon = codec::canonicalString(p);
+                const auto [it, fresh] =
+                    seen.emplace(codec::canonicalDigest(p), canon);
+                EXPECT_TRUE(fresh || it->second == canon)
+                    << "digest collision between \"" << it->second
+                    << "\" and \"" << canon << "\"";
+                ++configs;
+            }
+        }
+    }
+    EXPECT_EQ(configs, int(codec::presetNames().size()) * 16);
+    EXPECT_EQ(seen.size(), size_t(configs));
 }
 
 // ---- Lookahead --------------------------------------------------------------------

@@ -40,6 +40,16 @@ mkdir -p "$OBS_DIR"
 "$BUILD_DIR"/examples/transcode_farm --jobs 64 --seconds 0.15 \
     --policy smart --trace-out "$OBS_DIR/farm-trace.json"
 
+echo "== result cache smoke (Zipf stream, hit rate > 0) =="
+# A Zipf-skewed request stream against the content-addressed cache:
+# the example prints and self-checks the hit/miss reconciliation; grep
+# asserts a non-zero hit count actually happened.
+"$BUILD_DIR"/examples/transcode_farm --jobs 48 --seconds 0.12 \
+    --policy smart --zipf-s 1.1 --cache-mb 64 \
+    | tee "$OBS_DIR/cache-smoke.txt"
+grep -E "result cache: [1-9][0-9]*/" "$OBS_DIR/cache-smoke.txt" >/dev/null \
+    || { echo "cache smoke: no jobs served as hits" >&2; exit 1; }
+
 echo "== chunked transcode smoke (split/stitch + worker invariance) =="
 # Split->encode->stitch round-trip, fingerprint identity across worker
 # counts, and the chunked farm end to end (graph summary + boundary cost).
@@ -109,6 +119,18 @@ if [[ "${VTRANS_SKIP_PERF:-0}" != 1 ]]; then
     cmake --build "$PERF_DIR" -j --target microbench_kernels
     "$PERF_DIR"/bench/microbench_kernels --min-speedup 1.5 \
         --out "$PERF_DIR/BENCH_kernels.json"
+
+    echo "== result cache perf gate (Release, Zipf sustained load) =="
+    # Sustained Zipf load (2000 jobs) A/B: serving cache hits must cut
+    # tail latency vs the recompute-everything arm. Measured gains are
+    # ~x15 at s=1.1; the gate sits at a conservative 1.2 so the check
+    # stays robust to catalog or scheduler drift. The bench self-checks
+    # that stats reconcile (hits + misses == lookups, bytes <= budget)
+    # and that cached throughput never regresses. Writes BENCH_cache.json.
+    cmake --build "$PERF_DIR" -j --target farm_throughput
+    "$PERF_DIR"/bench/farm_throughput --jobs 8 --seconds 0.12 \
+        --zipf-s 1.1 --zipf-jobs 2000 --zipf-items 48 --cache-mb 256 \
+        --min-p99-gain 1.2 --out "$PERF_DIR/BENCH_cache.json"
 fi
 
 if [[ "${VTRANS_SKIP_TSAN:-0}" != 1 ]]; then
@@ -116,11 +138,12 @@ if [[ "${VTRANS_SKIP_TSAN:-0}" != 1 ]]; then
     TSAN_DIR="${BUILD_DIR}-tsan"
     cmake -B "$TSAN_DIR" -S . -DVTRANS_SANITIZE=thread
     cmake --build "$TSAN_DIR" -j --target test_uarch test_trace test_farm \
-        test_chunk test_parallel_sweep test_obs
+        test_chunk test_cache test_parallel_sweep test_obs
     "$TSAN_DIR"/tests/test_uarch
     "$TSAN_DIR"/tests/test_trace
     "$TSAN_DIR"/tests/test_farm
     "$TSAN_DIR"/tests/test_chunk
+    "$TSAN_DIR"/tests/test_cache
     "$TSAN_DIR"/tests/test_parallel_sweep
     "$TSAN_DIR"/tests/test_obs
 fi
